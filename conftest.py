@@ -1,0 +1,9 @@
+"""Repo-root pytest configuration: make ``src/`` importable without an
+installed package (offline environments cannot always pip-install)."""
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))

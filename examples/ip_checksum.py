@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""The §4 loop experiment: a certified IP-header checksum routine.
+
+Programs with loops need explicit loop invariants: "the PCC binary
+contains a table that maps each backward-branch target to a loop
+invariant".  This example certifies the paper's optimized checksum
+(64-bit additions + folding), shows the invariant that travels inside the
+binary, checks the result against RFC 1071, and reproduces the paper's
+factor-of-two win over a straightforward "kernel C" version.
+
+Run:  python examples/ip_checksum.py
+"""
+
+import random
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.alpha.machine import Machine
+from repro.alpha.parser import parse_program
+from repro.filters.checksum import (
+    CHECKSUM_LOOP_PC,
+    CHECKSUM_SOURCE,
+    NAIVE_CHECKSUM_SOURCE,
+    NAIVE_LOOP_PC,
+    checksum_invariant,
+    checksum_memory,
+    checksum_policy,
+    checksum_registers,
+    naive_invariant,
+    reference_checksum,
+)
+from repro.logic.pretty import pp_formula
+from repro.pcc import certify, validate
+from repro.perf.cost import ALPHA_175
+
+
+def run(source: str, data: bytes):
+    program = parse_program(source)
+    machine = Machine(program, checksum_memory(data),
+                      checksum_registers(data), cost_model=ALPHA_175)
+    return machine.run()
+
+
+def main() -> None:
+    policy = checksum_policy()
+    print("Loop invariant at the backward-branch target:")
+    print(" ", pp_formula(checksum_invariant()))
+    print()
+
+    certified = certify(CHECKSUM_SOURCE, policy,
+                        invariants={CHECKSUM_LOOP_PC: checksum_invariant()})
+    report = validate(certified.binary.to_bytes(), policy)
+    print(f"Optimized routine: {report.instructions} instructions, "
+          f"{certified.binary.size}-byte PCC binary "
+          f"(invariant table {len(certified.binary.invariants)} bytes), "
+          f"validated in {report.validation_seconds * 1000:.1f} ms.")
+
+    certify(NAIVE_CHECKSUM_SOURCE, policy,
+            invariants={NAIVE_LOOP_PC: naive_invariant()})
+    print("Naive 32-bit-at-a-time version: certified too (its own "
+          "invariant).\n")
+
+    rng = random.Random(4)
+    print(f"{'bytes':>6} {'checksum':>9} {'optimized':>10} {'naive':>8} "
+          f"{'speedup':>8}")
+    for length in (20, 40, 60, 576, 1500):
+        data = bytes(rng.randrange(256) for __ in range(length))
+        want = reference_checksum(data)
+        fast = run(CHECKSUM_SOURCE, data)
+        slow = run(NAIVE_CHECKSUM_SOURCE, data)
+        assert fast.value == slow.value == want
+        print(f"{length:6} {want:#9x} {fast.cycles:9}c {slow.cycles:7}c "
+              f"{slow.cycles / fast.cycles:7.2f}x")
+
+    print("\nThe paper: '...quite fast, beating the standard C version in "
+          "the OSF/1\nkernel by a factor of two' — the 64-bit loop halves "
+          "the per-word cost.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Figure 6, regenerated: the formal safety proof of SP_r, as a tree.
+
+The paper prints "a large fragment of the proof of the safety predicate"
+for the §2 resource-access client, noting it "was generated automatically
+by our PCC system".  So is ours — this script certifies the same program
+and renders the proof the prover found, rule by rule, goal by goal.
+
+Run:  python examples/proof_tree.py
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.logic.pretty import pp_formula
+from repro.pcc import certify
+from repro.proof.explain import explain_proof
+from repro.proof.proofs import proof_rules_used, proof_size
+from repro.vcgen.policy import resource_access_policy
+
+SOURCE = """
+    ADDQ r0, 8, r1    % Figure 5, verbatim
+    LDQ  r0, 8(r0)
+    LDQ  r2, -8(r1)
+    ADDQ r0, 1, r0
+    BEQ  r2, L1
+    STQ  r0, 0(r1)
+L1: RET
+"""
+
+
+def main() -> None:
+    policy = resource_access_policy()
+    certified = certify(SOURCE, policy)
+
+    print("Safety predicate SP_r (after trivial simplifications):")
+    print(" ", pp_formula(certified.predicate)[:500])
+    print()
+    print(f"Automatically generated proof: {proof_size(certified.proof)} "
+          f"inference nodes, rules used:")
+    for rule, count in sorted(proof_rules_used(certified.proof).items()):
+        print(f"  {rule:14} x{count}")
+    print()
+    print("The proof tree (cf. the paper's Figure 6; shared subproofs")
+    print("are numbered and back-referenced, exactly as transmitted):")
+    print()
+    print(explain_proof(certified.proof, certified.predicate,
+                        max_depth=40))
+
+
+if __name__ == "__main__":
+    main()

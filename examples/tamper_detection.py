@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Tamper-proofness, demonstrated exhaustively (paper §2.3).
+
+"Proof-carrying code is tamper-proof: the consumer can easily detect most
+attempts by any malicious agent to forge a proof or modify the code.
+Tampering can go undetected only if the adulterated code is still
+guaranteed to respect the consumer-defined safety policy."
+
+This example flips every single bit of a certified binary's code section
+and samples the proof section, then reports the split between *rejected*
+and *accepted-but-still-provably-safe* mutations.  For every accepted
+mutation it re-runs the mutated program on the abstract machine — which
+blocks on any safety violation — to show "harmless" really means safe.
+
+Run:  python examples/tamper_detection.py
+"""
+
+import struct
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.alpha.abstract import AbstractMachine
+from repro.alpha.machine import Memory
+from repro.errors import ValidationError
+from repro.pcc import certify, validate
+from repro.pcc.container import _HEADER
+from repro.vcgen.policy import resource_access_policy
+
+SOURCE = """
+    ADDQ r0, 8, r1
+    LDQ  r0, 8(r0)
+    LDQ  r2, -8(r1)
+    ADDQ r0, 1, r0
+    BEQ  r2, L1
+    STQ  r0, 0(r1)
+L1: RET
+"""
+
+
+def run_abstract(policy, program) -> None:
+    """Execute under the policy's own semantics; raises on any violation."""
+    memory = Memory()
+    memory.map_region(0x1000, struct.pack("<QQ", 5, 41), writable=True,
+                      name="table")
+    registers = {0: 0x1000}
+    can_read, can_write = policy.checkers(
+        registers, lambda address: 5 if address == 0x1000 else 0)
+    AbstractMachine(program, memory, can_read, can_write, registers).run()
+
+
+def main() -> None:
+    policy = resource_access_policy()
+    certified = certify(SOURCE, policy)
+    blob = certified.binary.to_bytes()
+    code_start = _HEADER.size
+    code_end = code_start + len(certified.binary.code)
+
+    print(f"Certified binary: {certified.binary.size} bytes "
+          f"({len(certified.binary.code)} code, "
+          f"{len(certified.binary.proof)} proof).")
+    print(f"\nFlipping all {(code_end - code_start) * 8} bits of the "
+          f"native code section...")
+
+    rejected = harmless = 0
+    for position in range(code_start, code_end):
+        for bit in range(8):
+            mutated = bytearray(blob)
+            mutated[position] ^= 1 << bit
+            try:
+                report = validate(bytes(mutated), policy)
+            except ValidationError:
+                rejected += 1
+                continue
+            # Accepted: the paper says this can only happen when the
+            # mutated code still satisfies the policy.  Prove it by
+            # running on the abstract machine (blocks on violations).
+            run_abstract(policy, report.program)
+            harmless += 1
+
+    print(f"  rejected:                      {rejected}")
+    print(f"  accepted (and verified safe):  {harmless}")
+
+    print("\nSampling proof-section bit flips...")
+    proof_start = code_end + len(certified.binary.relocation)
+    proof_rejected = proof_accepted = 0
+    for position in range(proof_start, len(blob),
+                          max(1, (len(blob) - proof_start) // 200)):
+        for bit in (0, 4):
+            mutated = bytearray(blob)
+            mutated[position] ^= 1 << bit
+            try:
+                validate(bytes(mutated), policy)
+                proof_accepted += 1
+            except ValidationError:
+                proof_rejected += 1
+    print(f"  rejected: {proof_rejected}, accepted: {proof_accepted} "
+          f"(an accepted proof flip still proves the same predicate)")
+
+    print("\nEvery mutation was either detected or provably harmless — "
+          "no cryptography involved.")
+
+
+if __name__ == "__main__":
+    main()

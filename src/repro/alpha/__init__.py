@@ -1,0 +1,61 @@
+"""DEC Alpha subset: ISA, assembler, binary encoding, and two machines.
+
+This package is the native-code substrate of the reproduction.  It models
+the subset of the Alpha architecture the paper uses (Figure 2, extended with
+the byte-manipulation and compare instructions the hand-tuned filters need):
+
+* :mod:`repro.alpha.isa` — instruction data types and register conventions,
+* :mod:`repro.alpha.parser` — the assembly-language front end,
+* :mod:`repro.alpha.encoding` — real 32-bit Alpha instruction encodings,
+* :mod:`repro.alpha.machine` — the concrete processor (no safety checks),
+* :mod:`repro.alpha.abstract` — the paper's abstract machine (Figure 3),
+  which blocks on any rd()/wr() safety-check failure.
+"""
+
+from repro.alpha.isa import (
+    NUM_REGS,
+    Lit,
+    Reg,
+    Operate,
+    Lda,
+    Ldah,
+    Ldq,
+    Stq,
+    Branch,
+    Br,
+    Ret,
+    Instruction,
+    Program,
+    OPERATE_NAMES,
+    BRANCH_NAMES,
+)
+from repro.alpha.parser import parse_program, format_program
+from repro.alpha.encoding import encode_program, decode_program
+from repro.alpha.machine import Machine, Memory, MachineResult
+from repro.alpha.abstract import AbstractMachine
+
+__all__ = [
+    "NUM_REGS",
+    "Lit",
+    "Reg",
+    "Operate",
+    "Lda",
+    "Ldah",
+    "Ldq",
+    "Stq",
+    "Branch",
+    "Br",
+    "Ret",
+    "Instruction",
+    "Program",
+    "OPERATE_NAMES",
+    "BRANCH_NAMES",
+    "parse_program",
+    "format_program",
+    "encode_program",
+    "decode_program",
+    "Machine",
+    "Memory",
+    "MachineResult",
+    "AbstractMachine",
+]

@@ -1,0 +1,53 @@
+"""The paper's abstract machine (Figure 3).
+
+Identical to the concrete machine except for the boxed safety checks: every
+LDQ must satisfy the policy's ``rd(address)`` predicate and every STQ its
+``wr(address)`` predicate, *including* the 8-byte alignment requirement.
+When a check fails the abstract machine has no transition — execution is
+stuck — which we surface as :class:`repro.errors.SafetyViolation`.
+
+The Safety Theorem (2.1) says a certified program started in a state
+satisfying the precondition never gets stuck here; the test suite checks
+that claim empirically for every certified program in the repository, and
+checks the converse for deliberately unsafe programs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.alpha.machine import Machine, Memory
+from repro.alpha.isa import Program
+from repro.errors import SafetyViolation
+
+AddressPredicate = Callable[[int], bool]
+
+
+class AbstractMachine(Machine):
+    """A :class:`Machine` with the paper's rd()/wr() checks inserted.
+
+    ``can_read`` and ``can_write`` are the policy's interpretation of the
+    rd/wr predicates *minus* alignment, which is enforced here uniformly
+    (the paper: "memory operations work on 64 bits and the addresses
+    involved must be aligned on an 8-byte boundary").
+    """
+
+    def __init__(self, program: Program, memory: Memory,
+                 can_read: AddressPredicate, can_write: AddressPredicate,
+                 registers: dict[int, int] | None = None,
+                 cost_model=None, max_steps: int = 1_000_000) -> None:
+        super().__init__(program, memory, registers, cost_model, max_steps)
+        self._can_read = can_read
+        self._can_write = can_write
+
+    def _check_read(self, address: int, pc: int) -> None:
+        if address & 7 or not self._can_read(address):
+            raise SafetyViolation(
+                f"rd({address:#x}) check failed at pc={pc}",
+                pc=pc, address=address)
+
+    def _check_write(self, address: int, pc: int) -> None:
+        if address & 7 or not self._can_write(address):
+            raise SafetyViolation(
+                f"wr({address:#x}) check failed at pc={pc}",
+                pc=pc, address=address)

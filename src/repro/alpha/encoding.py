@@ -1,0 +1,227 @@
+"""Binary encoding of the Alpha subset — real 32-bit Alpha instruction words.
+
+The native-code section of a PCC binary contains genuine little-endian DEC
+Alpha machine code, so the consumer-side validator works from exactly what
+would be mapped into kernel memory.  Encodings follow the Alpha Architecture
+Reference Manual:
+
+* memory format    — ``opcode(6) ra(5) rb(5) disp(16)`` for LDA, LDAH,
+  LDQ, STQ;
+* operate format   — ``opcode(6) ra(5) rb(5)/lit(8) litflag(1) func(7)
+  rc(5)`` for the integer ALU instructions;
+* branch format    — ``opcode(6) ra(5) disp(21)``;
+* RET              — the canonical ``RET $31,($26),1`` memory-branch word.
+
+Our logical registers ``r0`` .. ``r10`` map to physical Alpha temporaries
+(v0, t0-t7, a0, a1); the table is :data:`REG_MAP`.  Decoding inverts the
+mapping and rejects words that use any other register — that is the
+consumer's first tamper check.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.alpha.isa import (
+    Br,
+    Branch,
+    Instruction,
+    Lda,
+    Ldah,
+    Ldq,
+    Lit,
+    Operate,
+    Program,
+    Reg,
+    Ret,
+    Stq,
+    validate_program,
+)
+from repro.errors import EncodingError
+
+#: Logical register index -> physical Alpha register number.
+#: v0, t0..t7, a0, a1 — all caller-save, per the paper's restriction.
+REG_MAP: tuple[int, ...] = (0, 1, 2, 3, 4, 5, 6, 7, 8, 16, 17)
+_PHYS_TO_LOGICAL = {phys: logical for logical, phys in enumerate(REG_MAP)}
+
+#: The zero register, used as the base for LDA constant loads.
+RZERO_PHYS = 31
+
+_MEMORY_OPCODES = {"LDA": 0x08, "LDAH": 0x09, "LDQ": 0x29, "STQ": 0x2D}
+_MEMORY_OPCODES_INV = {code: name for name, code in _MEMORY_OPCODES.items()}
+
+#: Operate-format (opcode, function) pairs from the architecture manual.
+_OPERATE_CODES: dict[str, tuple[int, int]] = {
+    "ADDQ": (0x10, 0x20),
+    "SUBQ": (0x10, 0x29),
+    "CMPEQ": (0x10, 0x2D),
+    "CMPULT": (0x10, 0x1D),
+    "CMPULE": (0x10, 0x3D),
+    "AND": (0x11, 0x00),
+    "BIS": (0x11, 0x20),
+    "XOR": (0x11, 0x40),
+    "SLL": (0x12, 0x39),
+    "SRL": (0x12, 0x34),
+    "EXTBL": (0x12, 0x06),
+    "EXTWL": (0x12, 0x16),
+    "EXTLL": (0x12, 0x26),
+    "MULQ": (0x13, 0x20),
+}
+_OPERATE_CODES_INV = {code: name for name, code in _OPERATE_CODES.items()}
+
+_BRANCH_OPCODES = {
+    "BR": 0x30,
+    "BEQ": 0x39,
+    "BLT": 0x3A,
+    "BLE": 0x3B,
+    "BNE": 0x3D,
+    "BGE": 0x3E,
+    "BGT": 0x3F,
+}
+_BRANCH_OPCODES_INV = {code: name for name, code in _BRANCH_OPCODES.items()}
+
+#: ``RET $31,($26),1`` — the standard Alpha return instruction word.
+RET_WORD = 0x6BFA8001
+
+
+def _phys(reg: Reg) -> int:
+    return REG_MAP[reg.index]
+
+
+def _logical(phys: int, word: int) -> Reg:
+    if phys not in _PHYS_TO_LOGICAL:
+        raise EncodingError(
+            f"instruction word {word:#010x} uses physical register "
+            f"${phys}, outside the paper's 11-register policy subset")
+    return Reg(_PHYS_TO_LOGICAL[phys])
+
+
+def _encode_memory(opcode: int, ra: int, rb: int, disp: int) -> int:
+    return (opcode << 26) | (ra << 21) | (rb << 16) | (disp & 0xFFFF)
+
+
+def _encode_operate(instruction: Operate) -> int:
+    opcode, func = _OPERATE_CODES[instruction.name]
+    word = (opcode << 26) | (_phys(instruction.ra) << 21)
+    if isinstance(instruction.rb, Lit):
+        word |= (instruction.rb.value << 13) | (1 << 12)
+    else:
+        word |= _phys(instruction.rb) << 16
+    word |= (func << 5) | _phys(instruction.rc)
+    return word
+
+
+def encode_instruction(instruction: Instruction) -> int:
+    """Encode one instruction as a 32-bit Alpha word."""
+    if isinstance(instruction, Ret):
+        return RET_WORD
+    if isinstance(instruction, Lda):
+        return _encode_memory(_MEMORY_OPCODES["LDA"], _phys(instruction.rd),
+                              _phys(instruction.rs), instruction.disp)
+    if isinstance(instruction, Ldah):
+        return _encode_memory(_MEMORY_OPCODES["LDAH"], _phys(instruction.rd),
+                              _phys(instruction.rs), instruction.disp)
+    if isinstance(instruction, Ldq):
+        return _encode_memory(_MEMORY_OPCODES["LDQ"], _phys(instruction.rd),
+                              _phys(instruction.rs), instruction.disp)
+    if isinstance(instruction, Stq):
+        return _encode_memory(_MEMORY_OPCODES["STQ"], _phys(instruction.rs),
+                              _phys(instruction.rd), instruction.disp)
+    if isinstance(instruction, Operate):
+        return _encode_operate(instruction)
+    if isinstance(instruction, Branch):
+        opcode = _BRANCH_OPCODES[instruction.name]
+        return ((opcode << 26) | (_phys(instruction.rs) << 21)
+                | (instruction.offset & 0x1FFFFF))
+    if isinstance(instruction, Br):
+        return ((_BRANCH_OPCODES["BR"] << 26) | (RZERO_PHYS << 21)
+                | (instruction.offset & 0x1FFFFF))
+    raise EncodingError(f"cannot encode {instruction!r}")
+
+
+def _sext16(value: int) -> int:
+    value &= 0xFFFF
+    return value - 0x10000 if value & 0x8000 else value
+
+
+def _sext21(value: int) -> int:
+    value &= 0x1FFFFF
+    return value - 0x200000 if value & 0x100000 else value
+
+
+def decode_instruction(word: int) -> Instruction:
+    """Decode one 32-bit Alpha word back into an instruction.
+
+    Raises :class:`EncodingError` for anything outside the policy subset —
+    unknown opcodes, disallowed registers, or malformed operate words.
+    """
+    if word == RET_WORD:
+        return Ret()
+    if not 0 <= word < (1 << 32):
+        raise EncodingError(f"not a 32-bit word: {word:#x}")
+    opcode = word >> 26
+    ra_phys = (word >> 21) & 0x1F
+
+    if opcode in _MEMORY_OPCODES_INV:
+        name = _MEMORY_OPCODES_INV[opcode]
+        rb_phys = (word >> 16) & 0x1F
+        disp = _sext16(word)
+        ra = _logical(ra_phys, word)
+        rb = _logical(rb_phys, word)
+        if name == "LDA":
+            return Lda(ra, disp, rb)
+        if name == "LDAH":
+            return Ldah(ra, disp, rb)
+        if name == "LDQ":
+            return Ldq(ra, disp, rb)
+        return Stq(ra, disp, rb)
+
+    if opcode in (0x10, 0x11, 0x12, 0x13):
+        func = (word >> 5) & 0x7F
+        name = _OPERATE_CODES_INV.get((opcode, func))
+        if name is None:
+            raise EncodingError(
+                f"operate word {word:#010x}: unknown function {func:#x} "
+                f"for opcode {opcode:#x}")
+        ra = _logical(ra_phys, word)
+        rc = _logical(word & 0x1F, word)
+        if word & (1 << 12):
+            rb: Reg | Lit = Lit((word >> 13) & 0xFF)
+        else:
+            if (word >> 13) & 0x7:
+                raise EncodingError(
+                    f"operate word {word:#010x}: SBZ bits are not zero")
+            rb = _logical((word >> 16) & 0x1F, word)
+        return Operate(name, ra, rb, rc)
+
+    if opcode in _BRANCH_OPCODES_INV:
+        name = _BRANCH_OPCODES_INV[opcode]
+        offset = _sext21(word)
+        if name == "BR":
+            if ra_phys != RZERO_PHYS:
+                raise EncodingError(
+                    f"BR word {word:#010x} must use $31 as ra")
+            return Br(offset)
+        return Branch(name, _logical(ra_phys, word), offset)
+
+    raise EncodingError(f"unknown opcode {opcode:#x} in word {word:#010x}")
+
+
+def encode_program(program: Program) -> bytes:
+    """Encode a program as little-endian Alpha machine code."""
+    words = [encode_instruction(instruction) for instruction in program]
+    return b"".join(struct.pack("<I", word) for word in words)
+
+
+def decode_program(code: bytes) -> Program:
+    """Decode machine code back into a validated program."""
+    if len(code) % 4 != 0:
+        raise EncodingError(
+            f"code section length {len(code)} is not a multiple of 4")
+    if not code:
+        raise EncodingError("empty code section")
+    program = tuple(
+        decode_instruction(struct.unpack_from("<I", code, offset)[0])
+        for offset in range(0, len(code), 4))
+    validate_program(program)
+    return program

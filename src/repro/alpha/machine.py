@@ -1,0 +1,263 @@
+"""The concrete machine: a cycle-counting simulator of the Alpha subset.
+
+This stands in for the paper's DEC Alpha 3000/600.  It executes programs
+*without any safety checks* beyond what the hardware itself enforces
+(alignment traps and, in this model, access to unmapped memory, standing in
+for the MMU).  PCC binaries run here at full speed; the SFI and
+safe-language baselines run here too, paying for their extra instructions;
+the abstract machine (:mod:`repro.alpha.abstract`) subclasses the stepping
+logic and adds the paper's rd()/wr() checks.
+
+Memory is a set of mapped regions, each a bytearray at a base address —
+enough to model a packet buffer, a scratch area, and a kernel table without
+simulating a full address space.  Reads of unmapped addresses raise
+:class:`MachineError`, the moral equivalent of a kernel page fault: the
+whole point of the paper is that certified code never gets there.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.alpha.isa import (
+    NUM_REGS,
+    Br,
+    Branch,
+    Instruction,
+    Lda,
+    Ldah,
+    Ldq,
+    Lit,
+    Operate,
+    Program,
+    Ret,
+    Stq,
+)
+from repro.errors import MachineError
+
+WORD_MASK = (1 << 64) - 1
+_SIGN_BIT = 1 << 63
+
+
+@dataclass
+class _Region:
+    base: int
+    data: bytearray
+    writable: bool
+    name: str
+
+    def contains(self, address: int, size: int) -> bool:
+        return self.base <= address and address + size <= self.base + len(self.data)
+
+
+class Memory:
+    """Sparse region-based memory with 64-bit little-endian words."""
+
+    def __init__(self) -> None:
+        self._regions: list[_Region] = []
+
+    def map_region(self, base: int, data: bytes | bytearray, *,
+                   writable: bool = False, name: str = "region") -> None:
+        """Map ``data`` at address ``base``.
+
+        Regions may not overlap; bases need not be aligned (SFI experiments
+        use 2048-byte aligned packet segments, plain PCC does not care).
+        """
+        if base < 0:
+            raise MachineError(f"negative region base {base:#x}")
+        for region in self._regions:
+            if base < region.base + len(region.data) and region.base < base + len(data):
+                raise MachineError(
+                    f"region {name!r} at {base:#x} overlaps {region.name!r}")
+        self._regions.append(
+            _Region(base, bytearray(data), writable, name))
+
+    def region(self, name: str) -> bytearray:
+        """The backing bytes of a mapped region (for test assertions)."""
+        for region in self._regions:
+            if region.name == name:
+                return region.data
+        raise MachineError(f"no region named {name!r}")
+
+    def _find(self, address: int, size: int) -> _Region:
+        for region in self._regions:
+            if region.contains(address, size):
+                return region
+        raise MachineError(f"unmapped address {address:#x} (size {size})")
+
+    def load_quad(self, address: int) -> int:
+        """Read the 64-bit word at ``address`` (must be 8-byte aligned)."""
+        if address & 7:
+            raise MachineError(f"unaligned LDQ address {address:#x}")
+        region = self._find(address, 8)
+        offset = address - region.base
+        return struct.unpack_from("<Q", region.data, offset)[0]
+
+    def store_quad(self, address: int, value: int) -> None:
+        """Write the 64-bit word at ``address`` (must be 8-byte aligned)."""
+        if address & 7:
+            raise MachineError(f"unaligned STQ address {address:#x}")
+        region = self._find(address, 8)
+        if not region.writable:
+            raise MachineError(
+                f"write to read-only region {region.name!r} at {address:#x}")
+        struct.pack_into("<Q", region.data, address - region.base,
+                         value & WORD_MASK)
+
+
+@dataclass(frozen=True, slots=True)
+class MachineResult:
+    """Outcome of a program run."""
+
+    value: int            # contents of r0 at RET
+    instructions: int     # dynamic instruction count
+    cycles: int           # cost-model cycles (see repro.perf.cost)
+
+
+def _sext16(value: int) -> int:
+    value &= 0xFFFF
+    return value - 0x10000 if value & 0x8000 else value
+
+
+class Machine:
+    """Executes a program on registers + memory, counting instructions.
+
+    ``cost_model`` maps an instruction to its cycle cost; the default
+    charges one cycle per instruction (see :mod:`repro.perf.cost` for the
+    calibrated model used in the benchmarks).
+    """
+
+    def __init__(self, program: Program, memory: Memory,
+                 registers: dict[int, int] | None = None,
+                 cost_model=None, max_steps: int = 1_000_000) -> None:
+        self.program = program
+        self.memory = memory
+        self.regs = [0] * NUM_REGS
+        if registers:
+            for index, value in registers.items():
+                self.regs[index] = value & WORD_MASK
+        self.cost_model = cost_model
+        self.max_steps = max_steps
+
+    # The abstract machine overrides these two hooks to insert the paper's
+    # safety checks; the concrete machine goes straight to hardware.
+    def _check_read(self, address: int, pc: int) -> None:
+        pass
+
+    def _check_write(self, address: int, pc: int) -> None:
+        pass
+
+    def run(self) -> MachineResult:
+        """Run until RET; returns r0 and the execution counts."""
+        program = self.program
+        regs = self.regs
+        memory = self.memory
+        size = len(program)
+        pc = 0
+        steps = 0
+        cycles = 0
+        cost = self.cost_model
+        while True:
+            if steps >= self.max_steps:
+                raise MachineError(
+                    f"exceeded {self.max_steps} steps (runaway program?)")
+            if not 0 <= pc < size:
+                raise MachineError(f"pc {pc} outside program")
+            instruction = program[pc]
+            steps += 1
+            cycles += cost.cycles(instruction) if cost is not None else 1
+
+            if isinstance(instruction, Operate):
+                a = regs[instruction.ra.index]
+                if isinstance(instruction.rb, Lit):
+                    b = instruction.rb.value
+                else:
+                    b = regs[instruction.rb.index]
+                regs[instruction.rc.index] = _operate(instruction.name, a, b)
+                pc += 1
+            elif isinstance(instruction, Ldq):
+                address = (regs[instruction.rs.index]
+                           + _sext16(instruction.disp)) & WORD_MASK
+                self._check_read(address, pc)
+                regs[instruction.rd.index] = memory.load_quad(address)
+                pc += 1
+            elif isinstance(instruction, Stq):
+                address = (regs[instruction.rd.index]
+                           + _sext16(instruction.disp)) & WORD_MASK
+                self._check_write(address, pc)
+                memory.store_quad(address, regs[instruction.rs.index])
+                pc += 1
+            elif isinstance(instruction, Lda):
+                regs[instruction.rd.index] = (
+                    regs[instruction.rs.index]
+                    + _sext16(instruction.disp)) & WORD_MASK
+                pc += 1
+            elif isinstance(instruction, Ldah):
+                regs[instruction.rd.index] = (
+                    regs[instruction.rs.index]
+                    + (_sext16(instruction.disp) << 16)) & WORD_MASK
+                pc += 1
+            elif isinstance(instruction, Branch):
+                if _branch_taken(instruction.name,
+                                 regs[instruction.rs.index]):
+                    pc = pc + 1 + instruction.offset
+                else:
+                    pc += 1
+            elif isinstance(instruction, Br):
+                pc = pc + 1 + instruction.offset
+            elif isinstance(instruction, Ret):
+                return MachineResult(regs[0], steps, cycles)
+            else:  # pragma: no cover - exhaustive over Instruction
+                raise MachineError(f"cannot execute {instruction!r}")
+
+
+def _operate(name: str, a: int, b: int) -> int:
+    """Semantics of the operate instructions on 64-bit words."""
+    if name == "ADDQ":
+        return (a + b) & WORD_MASK
+    if name == "SUBQ":
+        return (a - b) & WORD_MASK
+    if name == "MULQ":
+        return (a * b) & WORD_MASK
+    if name == "AND":
+        return a & b
+    if name == "BIS":
+        return a | b
+    if name == "XOR":
+        return a ^ b
+    if name == "SLL":
+        return (a << (b & 63)) & WORD_MASK
+    if name == "SRL":
+        return a >> (b & 63)
+    if name == "CMPEQ":
+        return 1 if a == b else 0
+    if name == "CMPULT":
+        return 1 if a < b else 0
+    if name == "CMPULE":
+        return 1 if a <= b else 0
+    if name == "EXTBL":
+        return (a >> (8 * (b & 7))) & 0xFF
+    if name == "EXTWL":
+        return (a >> (8 * (b & 7))) & 0xFFFF
+    if name == "EXTLL":
+        return (a >> (8 * (b & 7))) & 0xFFFFFFFF
+    raise MachineError(f"unknown operate {name!r}")  # pragma: no cover
+
+
+def _branch_taken(name: str, value: int) -> bool:
+    """Branch predicates; BGE/BLT/BGT/BLE test the signed interpretation."""
+    signed_negative = bool(value & _SIGN_BIT)
+    if name == "BEQ":
+        return value == 0
+    if name == "BNE":
+        return value != 0
+    if name == "BGE":
+        return not signed_negative
+    if name == "BLT":
+        return signed_negative
+    if name == "BGT":
+        return not signed_negative and value != 0
+    if name == "BLE":
+        return signed_negative or value == 0
+    raise MachineError(f"unknown branch {name!r}")  # pragma: no cover

@@ -1,0 +1,218 @@
+"""Assembly-language front end for the Alpha subset.
+
+The accepted syntax matches the paper's listings (Figure 5) closely::
+
+        ADDQ  r0, 8, r1      % address of data in r1
+        LDQ   r0, 8(r0)      ; data in r0
+        BEQ   r2, L1         # skip if tag == 0
+        STQ   r0, 0(r1)
+    L1: RET
+
+* labels are ``name:`` prefixes or stand-alone ``name:`` lines;
+* comments start with ``%``, ``;`` or ``#`` and run to end of line;
+* branch targets are labels (resolved to relative offsets) or explicit
+  ``+n``/``-n`` instruction offsets;
+* operate instructions take a register or an 8-bit literal as the second
+  operand, e.g. ``ADDQ r0, 8, r1`` or ``ADDQ r0, r2, r1``.
+
+:func:`format_program` is the inverse: it renders a program back to
+parseable text (used by the round-trip tests and the CLI disassembler).
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.alpha.isa import (
+    BRANCH_NAMES,
+    OPERATE_NAMES,
+    Br,
+    Branch,
+    Instruction,
+    Lda,
+    Ldah,
+    Ldq,
+    Lit,
+    Operate,
+    Program,
+    Reg,
+    Ret,
+    Stq,
+    branch_target,
+    validate_program,
+)
+from repro.errors import AssemblyError
+
+_LABEL_RE = re.compile(r"^([A-Za-z_][A-Za-z0-9_]*):")
+_REG_RE = re.compile(r"^r(\d+)$")
+_MEM_RE = re.compile(r"^(-?(?:0[xX][0-9a-fA-F]+|\d+))\(r(\d+)\)$")
+
+
+def _strip_comment(line: str) -> str:
+    for marker in ("%", ";", "#"):
+        position = line.find(marker)
+        if position >= 0:
+            line = line[:position]
+    return line.strip()
+
+
+def _parse_reg(text: str, line_no: int) -> Reg:
+    match = _REG_RE.match(text.strip())
+    if not match:
+        raise AssemblyError(f"line {line_no}: expected register, got {text!r}")
+    return Reg(int(match.group(1)))
+
+
+def _parse_reg_or_lit(text: str, line_no: int) -> Reg | Lit:
+    text = text.strip()
+    if _REG_RE.match(text):
+        return _parse_reg(text, line_no)
+    try:
+        value = int(text, 0)
+    except ValueError:
+        raise AssemblyError(
+            f"line {line_no}: expected register or literal, got {text!r}"
+        ) from None
+    return Lit(value)
+
+
+def _parse_mem_operand(text: str, line_no: int) -> tuple[int, Reg]:
+    match = _MEM_RE.match(text.strip())
+    if not match:
+        raise AssemblyError(
+            f"line {line_no}: expected disp(reg), got {text!r}")
+    return int(match.group(1), 0), Reg(int(match.group(2)))
+
+
+def _split_operands(rest: str) -> list[str]:
+    return [part.strip() for part in rest.split(",")] if rest.strip() else []
+
+
+def parse_program(source: str) -> Program:
+    """Parse assembly text into a validated :data:`Program`."""
+    # First pass: tokenize into (line_no, mnemonic, operands) and record
+    # label positions, so forward references resolve.
+    rows: list[tuple[int, str, list[str]]] = []
+    labels: dict[str, int] = {}
+    for line_no, raw in enumerate(source.splitlines(), start=1):
+        line = _strip_comment(raw)
+        while True:
+            match = _LABEL_RE.match(line)
+            if not match:
+                break
+            label = match.group(1)
+            if label in labels:
+                raise AssemblyError(
+                    f"line {line_no}: duplicate label {label!r}")
+            labels[label] = len(rows)
+            line = line[match.end():].strip()
+        if not line:
+            continue
+        parts = line.split(None, 1)
+        mnemonic = parts[0].upper()
+        rest = parts[1] if len(parts) > 1 else ""
+        rows.append((line_no, mnemonic, _split_operands(rest)))
+
+    instructions: list[Instruction] = []
+    for pc, (line_no, mnemonic, operands) in enumerate(rows):
+        instructions.append(
+            _parse_instruction(pc, line_no, mnemonic, operands, labels))
+    program = tuple(instructions)
+    validate_program(program)
+    return program
+
+
+def _resolve_target(target: str, pc: int, labels: dict[str, int],
+                    line_no: int) -> int:
+    target = target.strip()
+    if target.startswith(("+", "-")):
+        try:
+            return int(target)
+        except ValueError:
+            raise AssemblyError(
+                f"line {line_no}: bad branch offset {target!r}") from None
+    if target not in labels:
+        raise AssemblyError(f"line {line_no}: undefined label {target!r}")
+    return labels[target] - (pc + 1)
+
+
+def _parse_instruction(pc: int, line_no: int, mnemonic: str,
+                       operands: list[str],
+                       labels: dict[str, int]) -> Instruction:
+    if mnemonic == "RET":
+        if operands:
+            raise AssemblyError(f"line {line_no}: RET takes no operands")
+        return Ret()
+
+    if mnemonic == "BR":
+        if len(operands) != 1:
+            raise AssemblyError(f"line {line_no}: BR takes one operand")
+        return Br(_resolve_target(operands[0], pc, labels, line_no))
+
+    if mnemonic in BRANCH_NAMES:
+        if len(operands) != 2:
+            raise AssemblyError(
+                f"line {line_no}: {mnemonic} takes register, target")
+        rs = _parse_reg(operands[0], line_no)
+        return Branch(mnemonic,
+                      rs, _resolve_target(operands[1], pc, labels, line_no))
+
+    if mnemonic in ("LDA", "LDAH", "LDQ"):
+        if len(operands) != 2:
+            raise AssemblyError(
+                f"line {line_no}: {mnemonic} takes rd, disp(rs)")
+        rd = _parse_reg(operands[0], line_no)
+        disp, rs = _parse_mem_operand(operands[1], line_no)
+        if mnemonic == "LDA":
+            return Lda(rd, disp, rs)
+        if mnemonic == "LDAH":
+            return Ldah(rd, disp, rs)
+        return Ldq(rd, disp, rs)
+
+    if mnemonic == "STQ":
+        if len(operands) != 2:
+            raise AssemblyError(f"line {line_no}: STQ takes rs, disp(rd)")
+        rs = _parse_reg(operands[0], line_no)
+        disp, rd = _parse_mem_operand(operands[1], line_no)
+        return Stq(rs, disp, rd)
+
+    # Accept OR as an alias for the Alpha's BIS.
+    if mnemonic == "OR":
+        mnemonic = "BIS"
+    if mnemonic in OPERATE_NAMES:
+        if len(operands) != 3:
+            raise AssemblyError(
+                f"line {line_no}: {mnemonic} takes ra, rb_or_lit, rc")
+        ra = _parse_reg(operands[0], line_no)
+        rb = _parse_reg_or_lit(operands[1], line_no)
+        rc = _parse_reg(operands[2], line_no)
+        return Operate(mnemonic, ra, rb, rc)
+
+    raise AssemblyError(f"line {line_no}: unknown instruction {mnemonic!r}")
+
+
+def format_program(program: Program) -> str:
+    """Render a program as parseable assembly text.
+
+    Branch targets are emitted as generated labels so the output stays
+    readable; ``parse_program(format_program(p)) == p`` holds for every
+    valid program (round-trip property tested in the suite).
+    """
+    targets: dict[int, str] = {}
+    for pc, instruction in enumerate(program):
+        if isinstance(instruction, (Branch, Br)):
+            target = branch_target(pc, instruction)
+            targets.setdefault(target, f"L{len(targets)}")
+
+    lines: list[str] = []
+    for pc, instruction in enumerate(program):
+        prefix = f"{targets[pc]}:" if pc in targets else ""
+        if isinstance(instruction, Branch):
+            text = (f"{instruction.name} {instruction.rs}, "
+                    f"{targets[branch_target(pc, instruction)]}")
+        elif isinstance(instruction, Br):
+            text = f"BR {targets[branch_target(pc, instruction)]}"
+        else:
+            text = str(instruction)
+        lines.append(f"{prefix:<8}{text}")
+    return "\n".join(lines) + "\n"

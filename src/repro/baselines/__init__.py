@@ -1,0 +1,11 @@
+"""The three safe-execution baselines the paper compares PCC against:
+
+* :mod:`repro.baselines.bpf` — the BSD Packet Filter: a run-time-checked
+  interpreter for a restricted accumulator VM;
+* :mod:`repro.baselines.sfi` — Software Fault Isolation: a binary
+  rewriter that sandboxes every memory operation into a 2048-byte
+  segment;
+* :mod:`repro.baselines.m3` — the safe-language approach (SPIN's
+  Modula-3): a small type-safe language compiled with per-access bounds
+  checks, with and without the VIEW word-cast extension.
+"""

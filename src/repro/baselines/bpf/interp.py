@@ -1,0 +1,213 @@
+"""The BPF interpreter with run-time safety checks.
+
+Follows the BSD semantics the paper adopts for every baseline: "a filter
+that attempts to read outside the packet or the scratch memory, or to
+write outside the scratch memory, is terminated and the packet rejected".
+Out-of-bounds packet loads therefore return verdict 0 instead of raising.
+
+Cycle accounting charges :data:`~repro.perf.cost.BPF_DISPATCH_CYCLES` per
+VM instruction (the fetch/decode/switch work of the OSF/1 C interpreter)
+plus a small extra charge for checked packet loads, making the interpreted
+baseline comparable with code running on the concrete Alpha model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.bpf.isa import (
+    BPF_A,
+    BPF_ABS,
+    BPF_ADD,
+    BPF_ALU,
+    BPF_AND,
+    BPF_B,
+    BPF_DIV,
+    BPF_H,
+    BPF_IMM,
+    BPF_IND,
+    BPF_JA,
+    BPF_JEQ,
+    BPF_JGE,
+    BPF_JGT,
+    BPF_JMP,
+    BPF_JSET,
+    BPF_K,
+    BPF_LD,
+    BPF_LDX,
+    BPF_LEN,
+    BPF_LSH,
+    BPF_MEM,
+    BPF_MEMWORDS,
+    BPF_MISC,
+    BPF_MSH,
+    BPF_MUL,
+    BPF_NEG,
+    BPF_OR,
+    BPF_RET,
+    BPF_RSH,
+    BPF_ST,
+    BPF_STX,
+    BPF_SUB,
+    BPF_TAX,
+    BPF_TXA,
+    BPF_W,
+    BpfInstruction,
+)
+from repro.errors import BpfRuntimeError
+from repro.perf.cost import BPF_DISPATCH_CYCLES, BPF_LOAD_CHECK_CYCLES
+
+_U32 = 0xFFFFFFFF
+
+
+@dataclass(frozen=True, slots=True)
+class BpfRunStats:
+    """Outcome of one filter invocation."""
+
+    verdict: int
+    instructions: int
+    cycles: int
+
+
+class BpfInterpreter:
+    """A reusable interpreter for one verified program."""
+
+    def __init__(self, program: list[BpfInstruction],
+                 dispatch_cycles: int = BPF_DISPATCH_CYCLES,
+                 load_check_cycles: int = BPF_LOAD_CHECK_CYCLES,
+                 max_steps: int = 100_000) -> None:
+        self.program = list(program)
+        self.dispatch_cycles = dispatch_cycles
+        self.load_check_cycles = load_check_cycles
+        self.max_steps = max_steps
+
+    def run(self, packet: bytes) -> BpfRunStats:
+        """Filter one packet; returns the verdict and the cost counters."""
+        program = self.program
+        size = len(program)
+        length = len(packet)
+        acc = 0
+        index = 0
+        scratch = [0] * BPF_MEMWORDS
+        pc = 0
+        steps = 0
+        cycles = 0
+
+        def load(offset: int, width: int) -> int | None:
+            nonlocal cycles
+            cycles += self.load_check_cycles
+            if offset < 0 or offset + width > length:
+                return None
+            value = 0
+            for position in range(width):  # network byte order
+                value = (value << 8) | packet[offset + position]
+            return value
+
+        while True:
+            if steps >= self.max_steps:
+                raise BpfRuntimeError("BPF filter ran too long")
+            if not 0 <= pc < size:
+                raise BpfRuntimeError(f"BPF pc {pc} out of range")
+            instruction = program[pc]
+            steps += 1
+            cycles += self.dispatch_cycles
+            code = instruction.code
+            klass = code & 0x07
+
+            if klass == BPF_RET:
+                verdict = acc if code & BPF_A else instruction.k
+                return BpfRunStats(verdict & _U32, steps, cycles)
+
+            if klass == BPF_LD:
+                mode = code & 0xE0
+                width = {BPF_W: 4, BPF_H: 2, BPF_B: 1}[code & 0x18]
+                if mode == BPF_IMM:
+                    acc = instruction.k & _U32
+                elif mode == BPF_LEN:
+                    acc = length
+                elif mode == BPF_MEM:
+                    acc = scratch[instruction.k]
+                else:
+                    offset = instruction.k
+                    if mode == BPF_IND:
+                        offset += index
+                    value = load(offset, width)
+                    if value is None:
+                        return BpfRunStats(0, steps, cycles)
+                    acc = value
+                pc += 1
+            elif klass == BPF_LDX:
+                mode = code & 0xE0
+                if mode == BPF_IMM:
+                    index = instruction.k & _U32
+                elif mode == BPF_LEN:
+                    index = length
+                elif mode == BPF_MEM:
+                    index = scratch[instruction.k]
+                elif mode == BPF_MSH:
+                    value = load(instruction.k, 1)
+                    if value is None:
+                        return BpfRunStats(0, steps, cycles)
+                    index = 4 * (value & 0x0F)
+                else:
+                    raise BpfRuntimeError(f"bad LDX mode {mode:#x}")
+                pc += 1
+            elif klass == BPF_ST:
+                scratch[instruction.k] = acc
+                pc += 1
+            elif klass == BPF_STX:
+                scratch[instruction.k] = index
+                pc += 1
+            elif klass == BPF_ALU:
+                op = code & 0xF0
+                operand = index if code & 0x08 else instruction.k
+                if op == BPF_ADD:
+                    acc = (acc + operand) & _U32
+                elif op == BPF_SUB:
+                    acc = (acc - operand) & _U32
+                elif op == BPF_MUL:
+                    acc = (acc * operand) & _U32
+                elif op == BPF_DIV:
+                    if operand == 0:
+                        return BpfRunStats(0, steps, cycles)
+                    acc = (acc // operand) & _U32
+                elif op == BPF_OR:
+                    acc = (acc | operand) & _U32
+                elif op == BPF_AND:
+                    acc = acc & operand & _U32
+                elif op == BPF_LSH:
+                    acc = (acc << (operand & 31)) & _U32
+                elif op == BPF_RSH:
+                    acc = (acc & _U32) >> (operand & 31)
+                elif op == BPF_NEG:
+                    acc = (-acc) & _U32
+                else:
+                    raise BpfRuntimeError(f"bad ALU op {op:#x}")
+                pc += 1
+            elif klass == BPF_JMP:
+                op = code & 0xF0
+                if op == BPF_JA:
+                    pc += 1 + instruction.k
+                else:
+                    operand = index if code & 0x08 else instruction.k
+                    if op == BPF_JEQ:
+                        taken = acc == operand
+                    elif op == BPF_JGT:
+                        taken = acc > operand
+                    elif op == BPF_JGE:
+                        taken = acc >= operand
+                    elif op == BPF_JSET:
+                        taken = bool(acc & operand)
+                    else:
+                        raise BpfRuntimeError(f"bad jump op {op:#x}")
+                    pc += 1 + (instruction.jt if taken else instruction.jf)
+            elif klass == BPF_MISC:
+                if code & 0xF8 == BPF_TXA:
+                    acc = index
+                elif code & 0xF8 == BPF_TAX:
+                    index = acc
+                else:
+                    raise BpfRuntimeError(f"bad MISC op {code:#x}")
+                pc += 1
+            else:  # pragma: no cover
+                raise BpfRuntimeError(f"bad class {klass}")

@@ -1,0 +1,126 @@
+"""The four paper filters as classic BPF programs.
+
+Written the way ``tcpdump``'s compiler would emit them (big-endian loads,
+accept-all-bytes snaplen), using the canonical idioms: ``ldh [12]`` for the
+ethertype, ``ld [26] ; and #0xffffff00`` for a /24 source-network match,
+and ``ldx 4*([14]&0xf) ; ldh [x+16]`` for the TCP destination port behind
+a variable-length IP header.
+
+The accept verdict is 1 (our kernels only care about zero/non-zero; real
+BPF returns a snapshot length).
+"""
+
+from __future__ import annotations
+
+from repro.baselines.bpf.isa import (
+    BpfInstruction,
+    alu_and_k,
+    jeq,
+    ld_b_abs,
+    ld_h_abs,
+    ld_h_ind,
+    ld_w_abs,
+    ldx_msh,
+    ret_k,
+)
+
+ETHERTYPE_IP = 0x0800
+ETHERTYPE_ARP = 0x0806
+PROTO_TCP = 6
+
+#: 128.2.206/24 and 128.2.220/24 as big-endian /24 prefixes.
+NETWORK_A_BE = 0x8002CE00
+NETWORK_B_BE = 0x8002DC00
+NETWORK_MASK = 0xFFFFFF00
+
+TARGET_PORT = 25
+
+
+def bpf_filter1() -> list[BpfInstruction]:
+    """Accept all IP packets."""
+    return [
+        ld_h_abs(12),
+        jeq(ETHERTYPE_IP, 0, 1),
+        ret_k(1),
+        ret_k(0),
+    ]
+
+
+def bpf_filter2() -> list[BpfInstruction]:
+    """Accept IP packets from network A."""
+    return [
+        ld_h_abs(12),
+        jeq(ETHERTYPE_IP, 0, 4),
+        ld_w_abs(26),
+        alu_and_k(NETWORK_MASK),
+        jeq(NETWORK_A_BE, 0, 1),
+        ret_k(1),
+        ret_k(0),
+    ]
+
+
+def bpf_filter3() -> list[BpfInstruction]:
+    """Accept IP or ARP packets exchanged between networks A and B.
+
+    BPF has one accumulator, so each direction re-checks the fields it
+    needs; a conditional jump preserves A, which the src==B re-tests
+    exploit (the masked source is still in A after the src==A test
+    fails).  Layout, with accept at pc 23 and reject at pc 24::
+
+        0  ldh [12]
+        1  jeq IP        -> 2 : 12
+        2  ld [26]; 3 and; 4 jeq A -> 5 : 8     (IP source network)
+        5  ld [30]; 6 and; 7 jeq B -> 23 : 24   (A -> B)
+        8  jeq B         -> 9 : 24              (source still in A)
+        9  ld [30]; 10 and; 11 jeq A -> 23 : 24 (B -> A)
+        12 jeq ARP       -> 13 : 24             (ethertype still in A)
+        13 ld [28]; 14 and; 15 jeq A -> 16 : 19 (ARP sender network)
+        16 ld [38]; 17 and; 18 jeq B -> 23 : 24
+        19 jeq B         -> 20 : 24
+        20 ld [38]; 21 and; 22 jeq A -> 23 : 24
+    """
+    return [
+        ld_h_abs(12),                              # 0
+        jeq(ETHERTYPE_IP, 0, 10),                  # 1
+        ld_w_abs(26), alu_and_k(NETWORK_MASK),     # 2 3
+        jeq(NETWORK_A_BE, 0, 3),                   # 4
+        ld_w_abs(30), alu_and_k(NETWORK_MASK),     # 5 6
+        jeq(NETWORK_B_BE, 15, 16),                 # 7
+        jeq(NETWORK_B_BE, 0, 15),                  # 8
+        ld_w_abs(30), alu_and_k(NETWORK_MASK),     # 9 10
+        jeq(NETWORK_A_BE, 11, 12),                 # 11
+        jeq(ETHERTYPE_ARP, 0, 11),                 # 12
+        ld_w_abs(28), alu_and_k(NETWORK_MASK),     # 13 14
+        jeq(NETWORK_A_BE, 0, 3),                   # 15
+        ld_w_abs(38), alu_and_k(NETWORK_MASK),     # 16 17
+        jeq(NETWORK_B_BE, 4, 5),                   # 18
+        jeq(NETWORK_B_BE, 0, 4),                   # 19
+        ld_w_abs(38), alu_and_k(NETWORK_MASK),     # 20 21
+        jeq(NETWORK_A_BE, 0, 1),                   # 22
+        ret_k(1),                                  # 23: accept
+        ret_k(0),                                  # 24: reject
+    ]
+
+
+def bpf_filter4() -> list[BpfInstruction]:
+    """Accept TCP packets with destination port 25 (tcpdump idiom)."""
+    return [
+        ld_h_abs(12),
+        jeq(ETHERTYPE_IP, 0, 6),
+        ld_b_abs(23),
+        jeq(PROTO_TCP, 0, 4),
+        ldx_msh(14),          # X := IP header length
+        ld_h_ind(16),         # A := destination port (14 + IHL*4 + 2)
+        jeq(TARGET_PORT, 0, 1),
+        ret_k(1),
+        ret_k(0),
+    ]
+
+
+#: name -> program, aligned with repro.filters.programs.FILTERS.
+BPF_FILTERS = {
+    "filter1": bpf_filter1(),
+    "filter2": bpf_filter2(),
+    "filter3": bpf_filter3(),
+    "filter4": bpf_filter4(),
+}

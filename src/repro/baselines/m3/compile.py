@@ -1,0 +1,171 @@
+"""Two toy Modula-3 compilers targeting the Alpha subset.
+
+Both compilers are *naive by design*: they insert a bounds check at every
+packet access and never eliminate one, reproducing the paper's observation
+that the DEC SRC compiler "tries to eliminate some of these checks
+statically but is not very successful for packet filters" (the minimum
+packet length is not expressible in the type system).
+
+* :func:`compile_plain` — ``PacketByte`` only; each byte access costs a
+  compare, a conditional branch, the aligned word load, and an extract
+  (Alpha 21064 has no byte loads, so even safe Modula-3 code pays the
+  LDQ+EXTBL dance — with a check per *byte*).
+* :func:`compile_view` — additionally accepts ``ViewWord``: one check per
+  64-bit word access, the VIEW extension's ~20% win.
+
+The compilers emit assembly text with symbolic labels and reuse the
+project assembler, so their output is an ordinary :data:`Program` that
+runs on the concrete machine and can be certified like any other binary.
+A failed check branches to a tail that returns 0 (reject), modelling the
+runtime exception.
+
+Calling convention matches the filter policy: r1 packet, r2 length,
+r3 scratch, result in r0.  Registers r4-r10 form the expression stack.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.alpha.isa import Program
+from repro.alpha.parser import parse_program
+from repro.baselines.m3.lang import (
+    Bin,
+    Const,
+    If,
+    Len,
+    M3Expr,
+    PacketByte,
+    ViewWord,
+)
+from repro.errors import M3Error
+
+_FIRST_REG = 4
+_LAST_REG = 10
+
+_BIN_MNEMONICS = {
+    "+": "ADDQ",
+    "-": "SUBQ",
+    "*": "MULQ",
+    "&": "AND",
+    "|": "BIS",
+    "^": "XOR",
+    "<<": "SLL",
+    ">>": "SRL",
+    "==": "CMPEQ",
+    "<": "CMPULT",
+    "<=": "CMPULE",
+}
+
+
+class _Emitter:
+    def __init__(self, allow_view: bool) -> None:
+        self.lines: list[str] = []
+        self.labels = itertools.count()
+        self.allow_view = allow_view
+
+    def op(self, text: str) -> None:
+        self.lines.append(f"        {text}")
+
+    def label(self, name: str) -> None:
+        self.lines.append(f"{name}:")
+
+    def fresh_label(self, stem: str) -> str:
+        return f"{stem}{next(self.labels)}"
+
+    def constant(self, value: int, reg: int) -> None:
+        """Materialize an unsigned constant below 2^31."""
+        if not 0 <= value < (1 << 31):
+            raise M3Error(f"constant {value:#x} out of compiler range")
+        low = value & 0xFFFF
+        if low >= 0x8000:
+            low -= 0x10000
+        high = (value - low) >> 16
+        self.op(f"SUBQ r{reg}, r{reg}, r{reg}")
+        if high:
+            self.op(f"LDAH r{reg}, {high}(r{reg})")
+        if low or not high:
+            self.op(f"LDA r{reg}, {low}(r{reg})")
+
+    def expression(self, expr: M3Expr, reg: int) -> None:
+        """Evaluate ``expr`` into r<reg>, using r<reg+1>.. as scratch."""
+        if reg > _LAST_REG:
+            raise M3Error("expression too deep for the register stack")
+
+        if isinstance(expr, Const):
+            self.constant(expr.value, reg)
+            return
+        if isinstance(expr, Len):
+            self.op(f"ADDQ r2, 0, r{reg}")
+            return
+        if isinstance(expr, PacketByte):
+            self.expression(expr.index, reg)
+            scratch = reg + 1
+            if scratch > _LAST_REG:
+                raise M3Error("expression too deep for the register stack")
+            self.op(f"CMPULT r{reg}, r2, r{scratch}")
+            self.op(f"BEQ r{scratch}, fail")
+            self.op(f"SRL r{reg}, 3, r{scratch}")
+            self.op(f"SLL r{scratch}, 3, r{scratch}")
+            self.op(f"ADDQ r1, r{scratch}, r{scratch}")
+            self.op(f"LDQ r{scratch}, 0(r{scratch})")
+            self.op(f"EXTBL r{scratch}, r{reg}, r{reg}")
+            return
+        if isinstance(expr, ViewWord):
+            if not self.allow_view:
+                raise M3Error(
+                    "ViewWord requires the VIEW extension (compile_view)")
+            self.expression(expr.word_index, reg)
+            scratch = reg + 1
+            if scratch > _LAST_REG:
+                raise M3Error("expression too deep for the register stack")
+            self.op(f"SRL r2, 3, r{scratch}")
+            self.op(f"CMPULT r{reg}, r{scratch}, r{scratch}")
+            self.op(f"BEQ r{scratch}, fail")
+            self.op(f"SLL r{reg}, 3, r{scratch}")
+            self.op(f"ADDQ r1, r{scratch}, r{scratch}")
+            self.op(f"LDQ r{reg}, 0(r{scratch})")
+            return
+        if isinstance(expr, Bin):
+            mnemonic = _BIN_MNEMONICS[expr.op]
+            self.expression(expr.left, reg)
+            right = expr.right
+            if isinstance(right, Const) and 0 <= right.value <= 255:
+                self.op(f"{mnemonic} r{reg}, {right.value}, r{reg}")
+                return
+            self.expression(right, reg + 1)
+            self.op(f"{mnemonic} r{reg}, r{reg + 1}, r{reg}")
+            return
+        if isinstance(expr, If):
+            orelse_label = self.fresh_label("else")
+            end_label = self.fresh_label("end")
+            self.expression(expr.cond, reg)
+            self.op(f"BEQ r{reg}, {orelse_label}")
+            self.expression(expr.then, reg)
+            self.op(f"BR {end_label}")
+            self.label(orelse_label)
+            self.expression(expr.orelse, reg)
+            self.label(end_label)
+            return
+        raise M3Error(f"not an expression: {expr!r}")
+
+
+def _compile(expr: M3Expr, allow_view: bool) -> Program:
+    emitter = _Emitter(allow_view)
+    emitter.expression(expr, _FIRST_REG)
+    emitter.op(f"ADDQ r{_FIRST_REG}, 0, r0")
+    emitter.op("RET")
+    emitter.label("fail")
+    emitter.op("SUBQ r0, r0, r0")
+    emitter.op("RET")
+    return parse_program("\n".join(emitter.lines))
+
+
+def compile_plain(expr: M3Expr) -> Program:
+    """The plain Modula-3 model: byte accesses only, a check per byte."""
+    return _compile(expr, allow_view=False)
+
+
+def compile_view(expr: M3Expr) -> Program:
+    """The VIEW model: word accesses allowed, a check per word."""
+    return _compile(expr, allow_view=True)

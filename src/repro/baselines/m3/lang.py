@@ -1,0 +1,157 @@
+"""The safe filter language: expressions over a checked packet buffer.
+
+A filter is one expression; its non-zero/zero value is the verdict.  The
+language is deliberately tiny but faithful to what the paper's Modula-3
+filters can say:
+
+* ``PacketByte(index)`` — the byte at ``index``; *every* evaluation is
+  bounds-checked (``index < len``), because the type system cannot prove
+  it away.  Out of bounds raises, which the runtime turns into "reject".
+* ``ViewWord(word_index)`` — VIEW only: the 64-bit little-endian word at
+  ``word_index`` of the packet viewed as an aligned word array; checked
+  against ``len DIV 8``.
+* ``Bin`` — unsigned 64-bit arithmetic, comparisons yielding 0/1.
+* ``If(cond, then, orelse)`` — conditional expression.
+
+:func:`evaluate` is the language's reference semantics (the "Modula-3
+interpreter"), used to cross-check the compilers instruction by
+instruction against the oracles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from repro.errors import M3Error, M3RuntimeError
+
+_MASK = (1 << 64) - 1
+
+#: op -> semantics for Bin.
+BIN_OPS = ("+", "-", "*", "&", "|", "^", "<<", ">>", "==", "<", "<=")
+
+
+@dataclass(frozen=True, slots=True)
+class Const:
+    value: int
+
+
+@dataclass(frozen=True, slots=True)
+class Len:
+    """The packet length in bytes (a CARDINAL the kernel passes in)."""
+
+
+@dataclass(frozen=True, slots=True)
+class PacketByte:
+    index: "M3Expr"
+
+
+@dataclass(frozen=True, slots=True)
+class ViewWord:
+    """VIEW(packet, ARRAY OF Word64)[word_index]."""
+
+    word_index: "M3Expr"
+
+
+@dataclass(frozen=True, slots=True)
+class Bin:
+    op: str
+    left: "M3Expr"
+    right: "M3Expr"
+
+    def __post_init__(self) -> None:
+        if self.op not in BIN_OPS:
+            raise M3Error(f"unknown operator {self.op!r}")
+
+
+@dataclass(frozen=True, slots=True)
+class If:
+    cond: "M3Expr"
+    then: "M3Expr"
+    orelse: "M3Expr"
+
+
+M3Expr = Union[Const, Len, PacketByte, ViewWord, Bin, If]
+
+
+def byte(index: int | M3Expr) -> PacketByte:
+    """Sugar: a (checked) packet byte at a constant or computed index."""
+    if isinstance(index, int):
+        index = Const(index)
+    return PacketByte(index)
+
+
+def be16(offset: int | M3Expr) -> Bin:
+    """Big-endian 16-bit field, the way an M3 programmer reads headers."""
+    if isinstance(offset, int):
+        lo: M3Expr = Const(offset)
+    else:
+        lo = offset
+    hi_plus = Bin("+", lo, Const(1))
+    return Bin("|", Bin("<<", PacketByte(lo), Const(8)),
+               PacketByte(hi_plus))
+
+
+def be24(offset: int) -> Bin:
+    """Big-endian 24-bit field at a constant offset (network prefixes)."""
+    return Bin("|", Bin("<<", PacketByte(Const(offset)), Const(16)),
+               Bin("|", Bin("<<", PacketByte(Const(offset + 1)), Const(8)),
+                   PacketByte(Const(offset + 2))))
+
+
+def evaluate(expr: M3Expr, packet: bytes) -> int:
+    """Reference semantics; raises :class:`M3RuntimeError` on a failed
+    bounds check (the runtime rejects such packets)."""
+    if isinstance(expr, Const):
+        return expr.value & _MASK
+    if isinstance(expr, Len):
+        return len(packet)
+    if isinstance(expr, PacketByte):
+        index = evaluate(expr.index, packet)
+        if index >= len(packet):
+            raise M3RuntimeError(f"byte index {index} out of bounds")
+        return packet[index]
+    if isinstance(expr, ViewWord):
+        index = evaluate(expr.word_index, packet)
+        if index >= len(packet) // 8:
+            raise M3RuntimeError(f"word index {index} out of bounds")
+        chunk = packet[index * 8:index * 8 + 8]
+        return int.from_bytes(chunk, "little")
+    if isinstance(expr, Bin):
+        left = evaluate(expr.left, packet)
+        right = evaluate(expr.right, packet)
+        if expr.op == "+":
+            return (left + right) & _MASK
+        if expr.op == "-":
+            return (left - right) & _MASK
+        if expr.op == "*":
+            return (left * right) & _MASK
+        if expr.op == "&":
+            return left & right
+        if expr.op == "|":
+            return left | right
+        if expr.op == "^":
+            return left ^ right
+        if expr.op == "<<":
+            return (left << (right & 63)) & _MASK
+        if expr.op == ">>":
+            return left >> (right & 63)
+        if expr.op == "==":
+            return 1 if left == right else 0
+        if expr.op == "<":
+            return 1 if left < right else 0
+        if expr.op == "<=":
+            return 1 if left <= right else 0
+    if isinstance(expr, If):
+        if evaluate(expr.cond, packet):
+            return evaluate(expr.then, packet)
+        return evaluate(expr.orelse, packet)
+    raise M3Error(f"not an expression: {expr!r}")
+
+
+def run_filter(expr: M3Expr, packet: bytes) -> int:
+    """The runtime's contract: a failed check rejects the packet."""
+    try:
+        return evaluate(expr, packet)
+    except M3RuntimeError:
+        return 0

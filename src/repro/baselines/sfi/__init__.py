@@ -1,0 +1,21 @@
+"""Software Fault Isolation (Wahbe et al. 1993) — code-editing baseline.
+
+The rewriter takes an Alpha program and inserts the classic sandboxing
+sequence before every memory operation, forcing each effective address
+into a fixed segment (reads: the 2048-byte packet segment; writes: the
+scratch segment).  The paper's concessions are reproduced: packets are
+assumed allocated on a 2048-byte boundary and the filter may safely read
+the whole segment regardless of packet size — which is why SFI and BPF
+filter semantics can disagree at the boundary (§3.1).
+
+:mod:`repro.baselines.sfi.policy` defines the SFI segment safety policy,
+against which the *rewritten* binaries can themselves be certified as PCC
+binaries — the paper's "we achieve the same effect as an SFI load-time
+validator but using the universal typechecking algorithm".
+"""
+
+from repro.baselines.sfi.rewrite import SfiConfig, sfi_rewrite
+from repro.baselines.sfi.policy import sfi_policy, sfi_memory, sfi_registers
+
+__all__ = ["SfiConfig", "sfi_rewrite", "sfi_policy", "sfi_memory",
+           "sfi_registers"]

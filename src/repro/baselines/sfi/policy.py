@@ -1,0 +1,100 @@
+"""The SFI segment safety policy, and kernel-side setup for SFI runs.
+
+The paper certifies its SFI-rewritten filters with PCC: "the precondition
+for this experiment says that it is safe to read from any aligned address
+that is in the same 2048-byte segment with the packet start address."
+That is exactly :func:`sfi_policy`'s precondition; writes stay confined to
+the 16-byte scratch segment.
+
+Because SFI grants the whole segment, the kernel must map packets into a
+full 2048-byte buffer (zero-padded) on a 2048-byte boundary — the
+difference from the BPF model that makes some filters behave differently
+under the two semantics (§3.1).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+from repro.alpha.machine import Memory
+from repro.baselines.sfi.rewrite import READ_SEGMENT_SIZE
+from repro.filters.policy import SCRATCH_SIZE
+from repro.logic.formulas import Formula, Forall, Implies, conj, eq, ge, lt, rd, wr
+from repro.logic.terms import Int, Var, WORD_MOD, add64, and64
+from repro.vcgen.policy import SafetyPolicy, word_identity
+
+#: 2048-aligned packet segment base used for SFI executions.
+SFI_PACKET_BASE = 0x0003_0000
+SFI_SCRATCH_BASE = 0x0004_0000
+
+_SEGMENT_MASK = Int((WORD_MOD - READ_SEGMENT_SIZE) % WORD_MOD)  # ~2047
+
+
+def sfi_precondition() -> Formula:
+    """Reads anywhere in the packet's 2048-byte segment; writes (and
+    reads) in the 16-byte scratch segment."""
+    r1, r2, r3 = Var("r1"), Var("r2"), Var("r3")
+    i, j = Var("i"), Var("j")
+    segment_base = and64(r1, _SEGMENT_MASK)
+    read_guard = conj([ge(i, 0), lt(i, READ_SEGMENT_SIZE),
+                       eq(and64(i, 7), 0)])
+    scratch_guard = conj([ge(j, 0), lt(j, SCRATCH_SIZE),
+                          eq(and64(j, 7), 0)])
+    return conj([
+        word_identity(r1),
+        word_identity(r2),
+        word_identity(r3),
+        eq(and64(r3, 15), 0),
+        Forall("i", Implies(read_guard, rd(add64(segment_base, i)))),
+        Forall("j", Implies(scratch_guard, rd(add64(r3, j)))),
+        Forall("j", Implies(scratch_guard, wr(add64(r3, j)))),
+    ])
+
+
+def sfi_policy() -> SafetyPolicy:
+    """The SFI segment policy, with its semantic interpretation."""
+
+    def make_checkers(registers: Mapping[int, int],
+                      read_word: Callable[[int], int]):
+        segment = registers[1] & ~(READ_SEGMENT_SIZE - 1)
+        scratch = registers[3]
+
+        def can_read(address: int) -> bool:
+            if segment <= address < segment + READ_SEGMENT_SIZE:
+                return True
+            return scratch <= address < scratch + SCRATCH_SIZE
+
+        def can_write(address: int) -> bool:
+            return scratch <= address < scratch + SCRATCH_SIZE
+
+        return can_read, can_write
+
+    return SafetyPolicy(
+        name="sfi-segment",
+        precondition=sfi_precondition(),
+        make_checkers=make_checkers,
+    )
+
+
+def sfi_memory(packet: bytes,
+               packet_base: int = SFI_PACKET_BASE,
+               scratch_base: int = SFI_SCRATCH_BASE) -> Memory:
+    """SFI-style mapping: the packet at a 2048-aligned base inside a full
+    zero-padded segment, plus the scratch area."""
+    if packet_base % READ_SEGMENT_SIZE:
+        raise ValueError("SFI packet base must be 2048-byte aligned")
+    if len(packet) > READ_SEGMENT_SIZE:
+        raise ValueError("packet larger than the SFI segment")
+    segment = bytearray(READ_SEGMENT_SIZE)
+    segment[:len(packet)] = packet
+    memory = Memory()
+    memory.map_region(packet_base, segment, writable=False, name="packet")
+    memory.map_region(scratch_base, bytes(SCRATCH_SIZE), writable=True,
+                      name="scratch")
+    return memory
+
+
+def sfi_registers(packet_length: int,
+                  packet_base: int = SFI_PACKET_BASE,
+                  scratch_base: int = SFI_SCRATCH_BASE) -> dict[int, int]:
+    return {1: packet_base, 2: packet_length, 3: scratch_base}

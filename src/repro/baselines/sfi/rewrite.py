@@ -1,0 +1,174 @@
+"""The SFI binary rewriter.
+
+Implements the Wahbe et al. sandboxing transformation on our Alpha subset:
+every load's effective address is forced into the 2048-byte *read segment*
+(the paper's concession: packets are allocated on 2048-byte boundaries and
+the whole segment is readable) and every store's into the 16-byte scratch
+segment.  The sequences are the classic three instructions per access::
+
+    LDA   r10, disp(base)   ; effective address
+    AND   r10, r8, r10      ; offset within segment, word-aligned
+    BIS   r10, r9, r10      ; OR in the segment base
+    LDQ   rd, 0(r10)
+
+with a four-instruction preamble materializing the mask (``r8``), the read
+segment base (``r9 := r1 & ~2047``); stores use the 8-bit literal mask and
+the scratch base still live in ``r3``.  Registers r8-r10 are dedicated —
+the rewriter refuses programs that use them, exactly as a real SFI
+toolchain reserves sandbox registers.
+
+Branch displacements are recomputed after expansion.  The output is a
+plain program: it runs on the concrete machine (paying for the extra
+instructions) and can itself be certified against the SFI policy
+(:mod:`repro.baselines.sfi.policy`) — the paper's PCC-validates-SFI
+experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.alpha.isa import (
+    Br,
+    Branch,
+    Instruction,
+    Lda,
+    Ldq,
+    Operate,
+    Program,
+    Reg,
+    Stq,
+    branch_target,
+    read_registers,
+    validate_program,
+    written_register,
+)
+from repro.errors import SfiError
+
+#: Dedicated sandbox registers (mask, read-segment base, scratch temp).
+MASK_REG = 8
+SEGBASE_REG = 9
+TEMP_REG = 10
+
+#: Read-segment geometry (the paper's 2048-byte packet segments).
+READ_SEGMENT_SIZE = 2048
+READ_OFFSET_MASK = READ_SEGMENT_SIZE - 8  # 2040: in-segment, 8-aligned
+
+#: Write-segment geometry (the 16-byte BPF scratch memory).
+WRITE_OFFSET_MASK = 8  # 16-byte segment, 8-aligned: offsets {0, 8}
+
+
+@dataclass(frozen=True)
+class SfiConfig:
+    """Which accesses to sandbox.
+
+    The paper discusses both flavors: write-only protection is cheap;
+    checking reads too "can amount to 20%" overhead.  Figure 8's SFI bars
+    check both (the packet-filter policy restricts reads), so that is the
+    default.
+    """
+
+    sandbox_reads: bool = True
+    sandbox_writes: bool = True
+
+
+def _preamble(config: SfiConfig) -> list[Instruction]:
+    temp = Reg(TEMP_REG)
+    out: list[Instruction] = [
+        Operate("SUBQ", temp, temp, temp),           # r10 := 0
+    ]
+    if config.sandbox_reads:
+        out.append(Lda(Reg(MASK_REG), READ_OFFSET_MASK, temp))
+        out.append(Lda(Reg(SEGBASE_REG), -READ_SEGMENT_SIZE, temp))
+        out.append(Operate("AND", Reg(1), Reg(SEGBASE_REG),
+                           Reg(SEGBASE_REG)))       # r9 := r1 & ~2047
+    return out
+
+
+def _sandboxed_load(instruction: Ldq) -> list[Instruction]:
+    temp = Reg(TEMP_REG)
+    return [
+        Lda(temp, instruction.disp, instruction.rs),
+        Operate("AND", temp, Reg(MASK_REG), temp),
+        Operate("BIS", temp, Reg(SEGBASE_REG), temp),
+        Ldq(instruction.rd, 0, temp),
+    ]
+
+
+def _sandboxed_store(instruction: Stq) -> list[Instruction]:
+    from repro.alpha.isa import Lit
+
+    temp = Reg(TEMP_REG)
+    return [
+        Lda(temp, instruction.disp, instruction.rd),
+        Operate("AND", temp, Lit(WRITE_OFFSET_MASK), temp),
+        Operate("BIS", temp, Reg(3), temp),
+        Stq(instruction.rs, 0, temp),
+    ]
+
+
+def sfi_rewrite(program: Program,
+                config: SfiConfig | None = None) -> Program:
+    """Sandbox every memory operation of ``program``.
+
+    Raises :class:`SfiError` if the program uses the dedicated registers
+    or clobbers the live segment bases (r1 before the preamble reads it,
+    r3 anywhere if stores are sandboxed).
+    """
+    config = config or SfiConfig()
+    reserved = {MASK_REG, SEGBASE_REG, TEMP_REG}
+    stores_present = any(isinstance(i, Stq) for i in program)
+    for pc, instruction in enumerate(program):
+        used = read_registers(instruction)
+        target = written_register(instruction)
+        if target is not None:
+            used.add(target)
+        if used & reserved:
+            raise SfiError(
+                f"pc {pc}: program uses a dedicated sandbox register "
+                f"(r8-r10 are reserved by the SFI rewriter)")
+        if (config.sandbox_writes and stores_present
+                and written_register(instruction) == 3):
+            raise SfiError(
+                f"pc {pc}: program overwrites r3, the live scratch base")
+
+    # First pass: expand instructions, remembering where each old pc lands.
+    preamble = _preamble(config)
+    expanded: list[list[Instruction]] = []
+    for instruction in program:
+        if isinstance(instruction, Ldq) and config.sandbox_reads:
+            expanded.append(_sandboxed_load(instruction))
+        elif isinstance(instruction, Stq) and config.sandbox_writes:
+            expanded.append(_sandboxed_store(instruction))
+        else:
+            expanded.append([instruction])
+
+    new_start: list[int] = []
+    position = len(preamble)
+    for group in expanded:
+        new_start.append(position)
+        position += len(group)
+    total = position
+
+    # Second pass: fix branch displacements.
+    out: list[Instruction] = list(preamble)
+    for pc, group in enumerate(expanded):
+        for instruction in group:
+            if isinstance(instruction, (Branch, Br)):
+                old_target = branch_target(pc, instruction)
+                if old_target < len(new_start):
+                    new_target = new_start[old_target]
+                else:  # pragma: no cover - validate_program forbids
+                    new_target = total
+                here = len(out)
+                offset = new_target - (here + 1)
+                if isinstance(instruction, Branch):
+                    instruction = Branch(instruction.name,
+                                         instruction.rs, offset)
+                else:
+                    instruction = Br(offset)
+            out.append(instruction)
+
+    result = tuple(out)
+    validate_program(result)
+    return result

@@ -1,0 +1,181 @@
+"""``pcc`` — command-line front end for the toolchain.
+
+Subcommands mirror the paper's workflow:
+
+* ``pcc certify <asm> -o <binary>`` — producer side: assemble + prove,
+  emitting a PCC binary;
+* ``pcc validate <binary>`` — consumer side: recompute the safety
+  predicate and type-check the proof, printing the Table 1 metrics;
+* ``pcc disasm <binary>`` — decode the native-code section;
+* ``pcc layout <binary>`` — print the Figure 7 section offsets;
+* ``pcc filter <name> <trace-size>`` — certify one of the paper's four
+  filters and run it (plus the baselines) over a synthetic trace.
+
+Policies are selected with ``--policy`` (``resource-access``,
+``packet-filter``, ``sfi-segment`` or ``checksum-buffer``); these are the
+consumer-published contracts from the paper.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.errors import PccError
+from repro.vcgen.policy import SafetyPolicy
+
+
+def _load_policy(name: str) -> SafetyPolicy:
+    from repro.baselines.sfi.policy import sfi_policy
+    from repro.filters.checksum import checksum_policy
+    from repro.filters.policy import packet_filter_policy
+    from repro.vcgen.policy import resource_access_policy
+
+    policies = {
+        "resource-access": resource_access_policy,
+        "packet-filter": packet_filter_policy,
+        "sfi-segment": sfi_policy,
+        "checksum-buffer": checksum_policy,
+    }
+    if name not in policies:
+        raise SystemExit(f"unknown policy {name!r}; choose from "
+                         f"{', '.join(sorted(policies))}")
+    return policies[name]()
+
+
+def _cmd_certify(args: argparse.Namespace) -> int:
+    from repro.pcc import certify
+
+    source = Path(args.source).read_text()
+    policy = _load_policy(args.policy)
+    result = certify(source, policy)
+    blob = result.binary.to_bytes()
+    Path(args.output).write_bytes(blob)
+    print(f"certified {len(result.program)} instructions under "
+          f"{policy.name!r}: {len(blob)} bytes -> {args.output}")
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from repro.pcc import validate
+
+    blob = Path(args.binary).read_bytes()
+    policy = _load_policy(args.policy)
+    report = validate(blob, policy, measure_memory=args.memory)
+    print(f"VALID under policy {policy.name!r}")
+    print(f"  instructions:     {report.instructions}")
+    print(f"  code bytes:       {report.code_bytes}")
+    print(f"  relocation bytes: {report.relocation_bytes}")
+    print(f"  proof bytes:      {report.proof_bytes}")
+    print(f"  validation time:  {report.validation_seconds * 1000:.1f} ms")
+    if args.memory:
+        print(f"  peak heap:        {report.peak_memory_bytes / 1024:.1f} "
+              f"KB")
+    return 0
+
+
+def _cmd_disasm(args: argparse.Namespace) -> int:
+    from repro.alpha.encoding import decode_program
+    from repro.alpha.parser import format_program
+    from repro.pcc.container import PccBinary
+
+    binary = PccBinary.from_bytes(Path(args.binary).read_bytes())
+    print(format_program(decode_program(binary.code)), end="")
+    return 0
+
+
+def _cmd_layout(args: argparse.Namespace) -> int:
+    from repro.pcc.container import PccBinary
+
+    binary = PccBinary.from_bytes(Path(args.binary).read_bytes())
+    print("section        start    end")
+    for name, start, end in binary.layout().rows():
+        print(f"{name:12} {start:7} {end:6}")
+    return 0
+
+
+def _cmd_rules(args: argparse.Namespace) -> int:
+    """Print the published rule set Delta — the consumer's proof logic."""
+    from repro.proof.rules import RULES
+    from repro.lf.signature import SIGNATURE
+
+    print(f"rule set Delta: {len(RULES)} rules "
+          f"(LF signature: {len(SIGNATURE.entries)} constants)\n")
+    for name in sorted(RULES):
+        doc = (RULES[name].__doc__ or "").strip().splitlines()
+        summary = doc[0] if doc else ""
+        entry = SIGNATURE.entries.get(name)
+        guarded = ""
+        if entry is not None and entry.side_condition is not None:
+            guarded = "  [computational side condition]"
+        print(f"  {name:18} {summary}{guarded}")
+    return 0
+
+
+def _cmd_filter(args: argparse.Namespace) -> int:
+    from repro.filters.programs import FILTERS
+    from repro.filters.trace import TraceConfig, generate_trace
+    from repro.perf import ALPHA_175, run_approach
+
+    spec = next((s for s in FILTERS if s.name == args.name), None)
+    if spec is None:
+        raise SystemExit(f"unknown filter {args.name!r}; choose from "
+                         f"{', '.join(s.name for s in FILTERS)}")
+    trace = generate_trace(TraceConfig(packets=args.packets))
+    print(f"{spec.name}: {spec.description}")
+    for approach in ("bpf", "bpf-jit", "m3", "m3-view", "sfi", "pcc"):
+        result = run_approach(spec, approach, trace)
+        print(f"  {approach:8} {result.cycles_per_packet:9.1f} cycles/pkt "
+              f"({result.us_per_packet(ALPHA_175):.3f} us @175MHz), "
+              f"accepted {result.accepted}/{result.packets}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="pcc",
+        description="Proof-carrying code toolchain (Necula & Lee, "
+                    "OSDI '96 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_certify = sub.add_parser("certify", help="assemble + prove")
+    p_certify.add_argument("source", help="Alpha assembly file")
+    p_certify.add_argument("-o", "--output", required=True)
+    p_certify.add_argument("--policy", default="packet-filter")
+    p_certify.set_defaults(fn=_cmd_certify)
+
+    p_validate = sub.add_parser("validate", help="consumer-side check")
+    p_validate.add_argument("binary")
+    p_validate.add_argument("--policy", default="packet-filter")
+    p_validate.add_argument("--memory", action="store_true",
+                            help="measure peak validation heap")
+    p_validate.set_defaults(fn=_cmd_validate)
+
+    p_disasm = sub.add_parser("disasm", help="decode the code section")
+    p_disasm.add_argument("binary")
+    p_disasm.set_defaults(fn=_cmd_disasm)
+
+    p_layout = sub.add_parser("layout", help="Figure 7 section offsets")
+    p_layout.add_argument("binary")
+    p_layout.set_defaults(fn=_cmd_layout)
+
+    p_rules = sub.add_parser("rules", help="print the proof rule set")
+    p_rules.set_defaults(fn=_cmd_rules)
+
+    p_filter = sub.add_parser("filter", help="run a paper filter + "
+                                             "baselines on a trace")
+    p_filter.add_argument("name")
+    p_filter.add_argument("--packets", type=int, default=2000)
+    p_filter.set_defaults(fn=_cmd_filter)
+
+    args = parser.parse_args(argv)
+    try:
+        return args.fn(args)
+    except PccError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,102 @@
+"""Exception hierarchy for the PCC toolchain.
+
+Every layer of the system raises a subclass of :class:`PccError`, so callers
+can catch one exception type at API boundaries while tests can assert on the
+precise failure mode.  The distinction between producer-side errors
+(:class:`CertificationError`) and consumer-side errors
+(:class:`ValidationError`) matters: the consumer must *never* trust anything
+produced by the other side, so validation failures carry enough context to be
+logged but are deliberately not recoverable.
+"""
+
+from __future__ import annotations
+
+
+class PccError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class AssemblyError(PccError):
+    """The assembly source text is malformed or uses an unknown instruction."""
+
+
+class EncodingError(PccError):
+    """A binary instruction encoding or decoding failed."""
+
+
+class MachineError(PccError):
+    """The concrete machine hit an illegal state (bad pc, bad register)."""
+
+
+class SafetyViolation(MachineError):
+    """The abstract machine blocked: an rd()/wr() safety check failed.
+
+    In the paper's semantics the abstract machine has no transition for this
+    case; we surface it as an exception so tests can assert that uncertified
+    code blocks and certified code never does.
+    """
+
+    def __init__(self, message: str, pc: int | None = None,
+                 address: int | None = None) -> None:
+        super().__init__(message)
+        self.pc = pc
+        self.address = address
+
+
+class LogicError(PccError):
+    """Ill-formed logical term or formula (wrong arity, unknown operator)."""
+
+
+class VcGenError(PccError):
+    """Verification-condition generation failed (e.g. a backward branch
+    without a loop invariant, or a branch out of the code region)."""
+
+
+class ProofError(PccError):
+    """A proof object is ill-formed or does not prove its claimed formula."""
+
+
+class LfError(PccError):
+    """LF type checking failed: the proof term is not well typed."""
+
+
+class ProverError(PccError):
+    """The automatic prover could not certify a safety predicate.
+
+    This is a *producer-side* failure: the program may still be safe, but
+    the prover was not smart enough.  It never indicates unsafety by itself,
+    though the message often points at the offending check.
+    """
+
+
+class CertificationError(PccError):
+    """Producer-side pipeline failure while building a PCC binary."""
+
+
+class ValidationError(PccError):
+    """Consumer-side rejection of a PCC binary (tampering, bad proof,
+    malformed container, or proof/predicate mismatch)."""
+
+
+class BpfError(PccError):
+    """Base class for BPF baseline errors."""
+
+
+class BpfVerifyError(BpfError):
+    """The BPF static verifier rejected a filter program."""
+
+
+class BpfRuntimeError(BpfError):
+    """The BPF interpreter terminated a filter for an out-of-range access."""
+
+
+class SfiError(PccError):
+    """The SFI rewriter could not sandbox an instruction sequence."""
+
+
+class M3Error(PccError):
+    """Safe-language (Modula-3 subset) front end or compiler error."""
+
+
+class M3RuntimeError(M3Error):
+    """A run-time bounds check failed in compiled safe-language code."""

@@ -1,0 +1,63 @@
+"""Network packet filters — the paper's application domain (§3).
+
+* :mod:`repro.filters.packets` — Ethernet/ARP/IPv4/TCP/UDP packet
+  synthesis and parsing (the substrate the paper gets from the network);
+* :mod:`repro.filters.trace` — a seeded synthetic trace generator standing
+  in for the paper's 200,000-packet CMU Ethernet trace;
+* :mod:`repro.filters.policy` — the packet-filter safety policy of §3
+  (precondition over packet pointer, length, and scratch memory);
+* :mod:`repro.filters.programs` — the four filters, hand-coded in Alpha
+  assembly with the paper's optimizations (64-bit loads + byte extraction,
+  the ``((w >> 46) & 60) + 16`` TCP-port offset computation);
+* :mod:`repro.filters.oracle` — straightforward Python reference
+  implementations used to cross-check every filter implementation
+  (PCC, BPF, SFI, M3) on every packet;
+* :mod:`repro.filters.checksum` — the §4 IP-header checksum experiment:
+  a looping routine certified with an explicit loop invariant.
+"""
+
+from repro.filters.packets import (
+    ETHERTYPE_IP,
+    ETHERTYPE_ARP,
+    PROTO_TCP,
+    PROTO_UDP,
+    make_ethernet,
+    make_ip_packet,
+    make_arp_packet,
+    make_tcp_packet,
+    make_udp_packet,
+)
+from repro.filters.trace import TraceConfig, generate_trace
+from repro.filters.policy import (
+    PACKET_BASE,
+    SCRATCH_BASE,
+    SCRATCH_SIZE,
+    packet_filter_policy,
+    packet_memory,
+    filter_registers,
+)
+from repro.filters.programs import FILTERS, FilterSpec
+from repro.filters.oracle import ORACLES
+
+__all__ = [
+    "ETHERTYPE_IP",
+    "ETHERTYPE_ARP",
+    "PROTO_TCP",
+    "PROTO_UDP",
+    "make_ethernet",
+    "make_ip_packet",
+    "make_arp_packet",
+    "make_tcp_packet",
+    "make_udp_packet",
+    "TraceConfig",
+    "generate_trace",
+    "PACKET_BASE",
+    "SCRATCH_BASE",
+    "SCRATCH_SIZE",
+    "packet_filter_policy",
+    "packet_memory",
+    "filter_registers",
+    "FILTERS",
+    "FilterSpec",
+    "ORACLES",
+]

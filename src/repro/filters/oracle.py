@@ -1,0 +1,90 @@
+"""Reference implementations of the four filters, in plain Python.
+
+Each oracle reproduces the *exact* semantics of the corresponding Alpha
+filter — including the little-endian extraction and the padded-word read
+at the packet boundary in Filter 4 — so that every implementation (PCC
+native, BPF, SFI, M3) can be cross-checked packet by packet.  The oracles
+are intentionally written against the raw frame bytes, independently of
+:mod:`repro.filters.packets`' builders, so builder bugs cannot hide.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.filters.programs import (
+    ETHERTYPE_ARP_LE,
+    ETHERTYPE_IP_LE,
+    NETWORK_A_LE,
+    NETWORK_B_LE,
+    TARGET_PORT_LE,
+)
+
+Oracle = Callable[[bytes], bool]
+
+
+def _pad8(frame: bytes) -> bytes:
+    remainder = len(frame) % 8
+    if remainder:
+        return frame + b"\x00" * (8 - remainder)
+    return frame
+
+
+def _le16(frame: bytes, offset: int) -> int:
+    return frame[offset] | (frame[offset + 1] << 8)
+
+
+def _le24(frame: bytes, offset: int) -> int:
+    return (frame[offset] | (frame[offset + 1] << 8)
+            | (frame[offset + 2] << 16))
+
+
+def oracle1(frame: bytes) -> bool:
+    """Accept all IP packets."""
+    return _le16(frame, 12) == ETHERTYPE_IP_LE
+
+
+def oracle2(frame: bytes) -> bool:
+    """Accept IP packets from network A."""
+    if _le16(frame, 12) != ETHERTYPE_IP_LE:
+        return False
+    return _le24(frame, 26) == NETWORK_A_LE
+
+
+def oracle3(frame: bytes) -> bool:
+    """Accept IP or ARP packets exchanged between networks A and B."""
+    ethertype = _le16(frame, 12)
+    if ethertype == ETHERTYPE_IP_LE:
+        src = _le24(frame, 26)
+        dst = _le24(frame, 30)
+    elif ethertype == ETHERTYPE_ARP_LE:
+        src = _le24(frame, 28)
+        dst = _le24(frame, 38)
+    else:
+        return False
+    forward = src == NETWORK_A_LE and dst == NETWORK_B_LE
+    backward = src == NETWORK_B_LE and dst == NETWORK_A_LE
+    return forward or backward
+
+
+def oracle4(frame: bytes) -> bool:
+    """Accept TCP packets with destination port 25, replicating the
+    filter's word-aligned, bounds-checked port read."""
+    if _le16(frame, 12) != ETHERTYPE_IP_LE:
+        return False
+    if frame[23] != 6:  # IP protocol byte
+        return False
+    port_offset = (frame[14] & 0x0F) * 4 + 16
+    word_offset = port_offset & ~7
+    if not word_offset < len(frame):
+        return False
+    padded = _pad8(frame)
+    return _le16(padded, port_offset) == TARGET_PORT_LE
+
+
+ORACLES: dict[str, Oracle] = {
+    "filter1": oracle1,
+    "filter2": oracle2,
+    "filter3": oracle3,
+    "filter4": oracle4,
+}

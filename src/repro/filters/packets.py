@@ -1,0 +1,170 @@
+"""Ethernet / ARP / IPv4 / TCP / UDP packet synthesis and parsing.
+
+Wire-format-accurate builders (network byte order, real header layouts,
+correct IP header checksums) plus the small parsing helpers the oracles
+use.  Packets are plain ``bytes``; the minimum Ethernet frame is 64 bytes
+(the paper's precondition relies on this) and builders pad to it.
+
+Only the fields the four filters inspect are modelled carefully; payloads
+are caller-supplied or zero.
+"""
+
+from __future__ import annotations
+
+import struct
+
+ETHERTYPE_IP = 0x0800
+ETHERTYPE_ARP = 0x0806
+PROTO_TCP = 6
+PROTO_UDP = 17
+
+MIN_FRAME = 64
+MAX_FRAME = 1518
+
+ETH_HEADER = 14
+IP_OFFSET = ETH_HEADER
+
+
+def mac(text: str) -> bytes:
+    """Parse ``aa:bb:cc:dd:ee:ff`` into 6 bytes."""
+    parts = text.split(":")
+    if len(parts) != 6:
+        raise ValueError(f"bad MAC address {text!r}")
+    return bytes(int(part, 16) for part in parts)
+
+
+def ipv4(text: str) -> bytes:
+    """Parse dotted-quad into 4 bytes."""
+    parts = text.split(".")
+    if len(parts) != 4:
+        raise ValueError(f"bad IPv4 address {text!r}")
+    return bytes(int(part) for part in parts)
+
+
+def ip_checksum(header: bytes) -> int:
+    """RFC 791 one's-complement header checksum."""
+    if len(header) % 2:
+        header += b"\x00"
+    total = sum(struct.unpack(f">{len(header) // 2}H", header))
+    while total >> 16:
+        total = (total & 0xFFFF) + (total >> 16)
+    return (~total) & 0xFFFF
+
+
+def make_ethernet(ethertype: int, payload: bytes,
+                  dst: bytes = b"\xff" * 6,
+                  src: bytes = b"\x02\x00\x00\x00\x00\x01") -> bytes:
+    """An Ethernet frame, zero-padded to the 64-byte minimum."""
+    frame = dst + src + struct.pack(">H", ethertype) + payload
+    if len(frame) < MIN_FRAME:
+        frame += b"\x00" * (MIN_FRAME - len(frame))
+    if len(frame) > MAX_FRAME:
+        raise ValueError(f"frame of {len(frame)} bytes exceeds Ethernet MTU")
+    return frame
+
+
+def make_ip_header(src: bytes, dst: bytes, proto: int, payload_len: int,
+                   options: bytes = b"", ttl: int = 64,
+                   ident: int = 0) -> bytes:
+    """An IPv4 header with correct IHL and checksum.
+
+    ``options`` must be a multiple of 4 bytes; a non-empty options field is
+    what makes Filter 4's variable header-length computation interesting.
+    """
+    if len(options) % 4:
+        raise ValueError("IP options must be a multiple of 4 bytes")
+    ihl_words = 5 + len(options) // 4
+    if ihl_words > 15:
+        raise ValueError("IP header too long")
+    total_length = ihl_words * 4 + payload_len
+    header = struct.pack(
+        ">BBHHHBBH4s4s",
+        (4 << 4) | ihl_words,  # version + IHL
+        0,                     # DSCP/ECN
+        total_length,
+        ident,
+        0,                     # flags/fragment offset
+        ttl,
+        proto,
+        0,                     # checksum placeholder
+        src,
+        dst,
+    ) + options
+    checksum = ip_checksum(header)
+    return header[:10] + struct.pack(">H", checksum) + header[12:]
+
+
+def make_ip_packet(src: str, dst: str, proto: int, payload: bytes = b"",
+                   options: bytes = b"") -> bytes:
+    """An Ethernet frame carrying an IPv4 packet."""
+    header = make_ip_header(ipv4(src), ipv4(dst), proto, len(payload),
+                            options)
+    return make_ethernet(ETHERTYPE_IP, header + payload)
+
+
+def make_tcp_packet(src: str, dst: str, src_port: int, dst_port: int,
+                    payload: bytes = b"", options: bytes = b"") -> bytes:
+    """An Ethernet/IPv4/TCP packet (minimal 20-byte TCP header)."""
+    tcp = struct.pack(">HHIIBBHHH", src_port, dst_port, 0, 0,
+                      5 << 4, 0x02, 8192, 0, 0) + payload
+    return make_ip_packet(src, dst, PROTO_TCP, tcp, options)
+
+
+def make_udp_packet(src: str, dst: str, src_port: int, dst_port: int,
+                    payload: bytes = b"") -> bytes:
+    """An Ethernet/IPv4/UDP packet."""
+    udp = struct.pack(">HHHH", src_port, dst_port, 8 + len(payload), 0) \
+        + payload
+    return make_ip_packet(src, dst, PROTO_UDP, udp)
+
+
+def make_arp_packet(sender_ip: str, target_ip: str,
+                    oper: int = 1,
+                    sender_mac: bytes = b"\x02\x00\x00\x00\x00\x01",
+                    target_mac: bytes = b"\x00" * 6) -> bytes:
+    """An Ethernet ARP request/reply for IPv4 over Ethernet."""
+    arp = struct.pack(">HHBBH", 1, ETHERTYPE_IP, 6, 4, oper) \
+        + sender_mac + ipv4(sender_ip) + target_mac + ipv4(target_ip)
+    return make_ethernet(ETHERTYPE_ARP, arp)
+
+
+# -- parsing helpers (used by the oracles) ----------------------------------
+
+def ethertype_of(frame: bytes) -> int:
+    return struct.unpack_from(">H", frame, 12)[0]
+
+
+def ip_source(frame: bytes) -> bytes:
+    return frame[IP_OFFSET + 12:IP_OFFSET + 16]
+
+
+def ip_destination(frame: bytes) -> bytes:
+    return frame[IP_OFFSET + 16:IP_OFFSET + 20]
+
+
+def ip_protocol(frame: bytes) -> int:
+    return frame[IP_OFFSET + 9]
+
+
+def ip_header_length(frame: bytes) -> int:
+    return (frame[IP_OFFSET] & 0x0F) * 4
+
+
+def arp_sender_ip(frame: bytes) -> bytes:
+    return frame[ETH_HEADER + 14:ETH_HEADER + 18]
+
+
+def arp_target_ip(frame: bytes) -> bytes:
+    return frame[ETH_HEADER + 24:ETH_HEADER + 28]
+
+
+def tcp_destination_port(frame: bytes) -> int | None:
+    """Destination port of a TCP frame, or None if not IP/TCP or truncated."""
+    if ethertype_of(frame) != ETHERTYPE_IP:
+        return None
+    if ip_protocol(frame) != PROTO_TCP:
+        return None
+    offset = IP_OFFSET + ip_header_length(frame) + 2
+    if offset + 2 > len(frame):
+        return None
+    return struct.unpack_from(">H", frame, offset)[0]

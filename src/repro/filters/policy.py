@@ -1,0 +1,135 @@
+r"""The packet-filter safety policy (paper §3).
+
+The interface follows the BPF model the paper adopts: the kernel invokes
+the filter with the aligned packet address in ``r1``, the packet length in
+``r2`` (at least 64, the Ethernet minimum), and the address of a 16-byte
+aligned scratch memory in ``r3``; the boolean verdict is returned in
+``r0``.  The precondition is the paper's, transcribed conjunct for
+conjunct::
+
+    Pre = r1 mod 2^64 = r1
+        /\ r2 mod 2^64 = r2 /\ r2 < 2^63 /\ r2 >= 64
+        /\ r3 mod 2^64 = r3
+        /\ ALL i. (i >= 0 /\ i < r2 /\ i & 7 = 0) => rd(r1 (+) i)
+        /\ ALL j. (j >= 0 /\ j < 16 /\ j & 7 = 0) => rd(r3 (+) j)
+        /\ ALL j. (j >= 0 /\ j < 16 /\ j & 7 = 0) => wr(r3 (+) j)
+        /\ ALL i. ALL j. (i >= 0 /\ i < r2 /\ j >= 0 /\ j < 16)
+                              => r1 (+) i != r3 (+) j
+
+One transcription note: the paper defines ``wr(a)`` as "an aligned location
+that can be safely read **or written**", i.e. writability implies
+readability; since our logic keeps ``rd`` and ``wr`` independent, the
+scratch-read conjunct is spelled out explicitly.
+
+The policy's *semantic* interpretation (used by the abstract machine and
+the tests, never by validation) reads words only inside the packet or the
+scratch area and writes only the scratch area.  Packet buffers are mapped
+zero-padded to an 8-byte boundary so that the word read at any aligned
+``i < r2`` — which the policy permits — stays inside the mapped region,
+mirroring how a kernel pads receive buffers.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+from repro.alpha.machine import Memory
+from repro.logic.formulas import Formula, Forall, Implies, conj, eq, ge, lt, ne, rd, wr
+from repro.logic.terms import Var, add64, and64
+from repro.vcgen.policy import SafetyPolicy, word_identity
+
+#: Where the kernel maps things for filter invocation (arbitrary, aligned).
+PACKET_BASE = 0x0001_0000
+SCRATCH_BASE = 0x0002_0000
+SCRATCH_SIZE = 16
+
+_SIGN_BOUND = 1 << 63
+
+
+def _aligned_index_guard(var: str, bound) -> Formula:
+    index = Var(var)
+    return conj([ge(index, 0), lt(index, bound),
+                 eq(and64(index, 7), 0)])
+
+
+def packet_filter_precondition() -> Formula:
+    """The §3 precondition, as a formula."""
+    r1, r2, r3 = Var("r1"), Var("r2"), Var("r3")
+    i, j = Var("i"), Var("j")
+    readable_packet = Forall(
+        "i", Implies(_aligned_index_guard("i", r2), rd(add64(r1, i))))
+    readable_scratch = Forall(
+        "j", Implies(_aligned_index_guard("j", 16), rd(add64(r3, j))))
+    writable_scratch = Forall(
+        "j", Implies(_aligned_index_guard("j", 16), wr(add64(r3, j))))
+    no_alias = Forall("i", Forall("j", Implies(
+        conj([ge(i, 0), lt(i, r2), ge(j, 0), lt(j, 16)]),
+        ne(add64(r1, i), add64(r3, j)))))
+    return conj([
+        word_identity(r1),
+        word_identity(r2),
+        lt(r2, _SIGN_BOUND),
+        ge(r2, 64),
+        word_identity(r3),
+        readable_packet,
+        readable_scratch,
+        writable_scratch,
+        no_alias,
+    ])
+
+
+def packet_filter_policy() -> SafetyPolicy:
+    """The published packet-filter policy (BPF-equivalent safety model)."""
+
+    def make_checkers(registers: Mapping[int, int],
+                      read_word: Callable[[int], int]):
+        base = registers[1]
+        length = registers[2]
+        scratch = registers[3]
+
+        def can_read(address: int) -> bool:
+            if base <= address < base + length:
+                return True
+            return scratch <= address < scratch + SCRATCH_SIZE
+
+        def can_write(address: int) -> bool:
+            return scratch <= address < scratch + SCRATCH_SIZE
+
+        return can_read, can_write
+
+    return SafetyPolicy(
+        name="packet-filter",
+        precondition=packet_filter_precondition(),
+        make_checkers=make_checkers,
+    )
+
+
+def _pad8(data: bytes) -> bytes:
+    remainder = len(data) % 8
+    if remainder:
+        return data + b"\x00" * (8 - remainder)
+    return data
+
+
+def packet_memory(packet: bytes,
+                  packet_base: int = PACKET_BASE,
+                  scratch_base: int = SCRATCH_BASE) -> Memory:
+    """Kernel-side memory for one filter invocation.
+
+    The packet is mapped read-only (the policy forbids packet writes) and
+    zero-padded to an 8-byte boundary; the scratch area is writable and
+    zeroed per invocation, as BPF specifies.
+    """
+    memory = Memory()
+    memory.map_region(packet_base, _pad8(packet), writable=False,
+                      name="packet")
+    memory.map_region(scratch_base, bytes(SCRATCH_SIZE), writable=True,
+                      name="scratch")
+    return memory
+
+
+def filter_registers(packet_length: int,
+                     packet_base: int = PACKET_BASE,
+                     scratch_base: int = SCRATCH_BASE) -> dict[int, int]:
+    """Entry register file for a filter invocation (r1, r2, r3)."""
+    return {1: packet_base, 2: packet_length, 3: scratch_base}

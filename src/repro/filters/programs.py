@@ -1,0 +1,182 @@
+"""The four packet filters, hand-coded in DEC Alpha assembly (paper §3).
+
+The filters use the paper's optimizations verbatim:
+
+* the number of memory operations is minimized by 64-bit loads followed by
+  byte extraction (EXTBL/EXTWL/EXTLL);
+* Filter 4 computes the TCP destination-port offset as
+  ``((w8 >> 46) & 60) + 16`` — exactly the simplification derived in §3 —
+  then masks it to an aligned word offset and bounds-checks it against the
+  packet length before the (certifiably safe) load;
+* constants that do not fit the 8-bit operate literal are synthesized with
+  the ``SUBQ r,r,r`` zero idiom plus LDAH/LDA, since the policy's register
+  file has no hardwired zero.
+
+Byte-order note: the Alpha is little-endian and Ethernet/IP are
+big-endian, so extracted fields compare against byte-swapped constants
+(e.g. ethertype 0x0800 extracts as 0x0008, port 25 as 0x1900 = 6400).
+
+Entry convention (the policy's): r1 = packet, r2 = length, r3 = scratch;
+verdict in r0 (non-zero accepts).  All branches are forward; none of these
+filters needs the scratch memory (same as the paper's four).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.alpha.isa import Program
+from repro.alpha.parser import parse_program
+
+#: Filter parameters (shared with the trace generator and the oracles).
+NETWORK_A_LE = 0xCE0280   # 128.2.206.x as little-endian 24-bit value
+NETWORK_B_LE = 0xDC0280   # 128.2.220.x
+TARGET_PORT_LE = 0x1900   # TCP port 25, byte-swapped
+ETHERTYPE_IP_LE = 0x0008
+ETHERTYPE_ARP_LE = 0x0608
+
+
+@dataclass(frozen=True)
+class FilterSpec:
+    """One benchmark filter: name, what it accepts, and its source."""
+
+    name: str
+    description: str
+    source: str
+
+    @property
+    def program(self) -> Program:
+        return parse_program(self.source)
+
+
+FILTER1 = FilterSpec(
+    name="filter1",
+    description="accept all IP packets",
+    source="""
+        LDQ    r4, 8(r1)       % bytes 8..15 of the frame
+        EXTWL  r4, 4, r4       % ethertype (bytes 12-13, little-endian)
+        CMPEQ  r4, 8, r0       % 0x0008 == byte-swapped ETHERTYPE_IP
+        RET
+    """,
+)
+
+FILTER2 = FilterSpec(
+    name="filter2",
+    description="accept IP packets originating from network 128.2.206/24",
+    source="""
+        LDQ    r4, 8(r1)
+        EXTWL  r4, 4, r5       % ethertype
+        CMPEQ  r5, 8, r0
+        BEQ    r0, out         % not IP: r0 is already 0
+        LDQ    r4, 24(r1)      % bytes 24..31
+        EXTLL  r4, 2, r4       % source IP (bytes 26-29)
+        SLL    r4, 40, r4
+        SRL    r4, 40, r4      % keep the first three octets
+        SUBQ   r5, r5, r5
+        LDAH   r5, 206(r5)
+        LDA    r5, 640(r5)     % 128.2.206/24, byte-swapped: 0xCE0280
+        CMPEQ  r4, r5, r0
+out:    RET
+    """,
+)
+
+FILTER3 = FilterSpec(
+    name="filter3",
+    description=("accept IP or ARP packets exchanged between networks "
+                 "128.2.206/24 and 128.2.220/24"),
+    source="""
+        LDQ    r4, 8(r1)
+        EXTWL  r4, 4, r5       % ethertype
+        CMPEQ  r5, 8, r6
+        BNE    r6, ip
+        LDA    r7, 1544(r6)    % r6 is 0 here; 1544 = byte-swapped ARP
+        CMPEQ  r5, r7, r6
+        BNE    r6, arp
+        SUBQ   r0, r0, r0      % neither IP nor ARP
+        RET
+ip:     LDQ    r4, 24(r1)      % bytes 24..31
+        EXTLL  r4, 2, r5       % source IP (26-29)
+        SLL    r5, 40, r5
+        SRL    r5, 40, r5      % source network
+        EXTWL  r4, 6, r6       % destination IP bytes 30-31
+        LDQ    r7, 32(r1)
+        EXTBL  r7, 0, r7       % destination IP byte 32
+        SLL    r7, 16, r7
+        BIS    r6, r7, r6      % destination network
+        BR     match
+arp:    LDQ    r4, 24(r1)
+        EXTLL  r4, 4, r5       % sender IP (bytes 28-31)
+        SLL    r5, 40, r5
+        SRL    r5, 40, r5      % sender network
+        LDQ    r6, 32(r1)
+        EXTWL  r6, 6, r6       % target IP bytes 38-39
+        LDQ    r7, 40(r1)
+        EXTBL  r7, 0, r7       % target IP byte 40
+        SLL    r7, 16, r7
+        BIS    r6, r7, r6      % target network
+match:  SUBQ   r7, r7, r7
+        LDAH   r7, 206(r7)
+        LDA    r7, 640(r7)     % network A
+        CMPEQ  r5, r7, r4      % src in A
+        CMPEQ  r6, r7, r0      % dst in A
+        SUBQ   r7, r7, r7
+        LDAH   r7, 220(r7)
+        LDA    r7, 640(r7)     % network B
+        CMPEQ  r5, r7, r5      % src in B
+        CMPEQ  r6, r7, r6      % dst in B
+        AND    r4, r6, r4      % A -> B
+        AND    r5, r0, r5      % B -> A
+        BIS    r4, r5, r0
+        RET
+    """,
+)
+
+FILTER4 = FilterSpec(
+    name="filter4",
+    description="accept TCP packets with destination port 25",
+    source="""
+        LDQ    r4, 8(r1)       % w8: bytes 8..15
+        EXTWL  r4, 4, r5       % ethertype
+        CMPEQ  r5, 8, r0
+        BEQ    r0, out         % not IP
+        LDQ    r5, 16(r1)      % bytes 16..23
+        EXTBL  r5, 7, r5       % byte 23: IP protocol
+        CMPEQ  r5, 6, r0
+        BEQ    r0, out         % not TCP
+        SRL    r4, 46, r5
+        AND    r5, 60, r5      % IHL * 4
+        ADDQ   r5, 16, r5      % port offset = IHL*4 + 16  (paper's formula)
+        AND    r5, 248, r6     % containing word offset (aligned)
+        CMPULT r6, r2, r7      % in bounds?
+        SUBQ   r0, r0, r0      % default verdict: reject
+        BEQ    r7, out
+        ADDQ   r1, r6, r6
+        LDQ    r4, 0(r6)       % the word holding the port
+        EXTWL  r4, r5, r4      % port halfword at offset (port_off & 7)
+        SUBQ   r7, r7, r7
+        LDA    r7, 6400(r7)    % port 25, byte-swapped
+        CMPEQ  r4, r7, r0
+out:    RET
+    """,
+)
+
+#: The benchmark set, in the paper's order.
+FILTERS: tuple[FilterSpec, ...] = (FILTER1, FILTER2, FILTER3, FILTER4)
+
+#: A fifth filter used by tests and examples: exercises the scratch
+#: memory (counts accepted IP packets across invocations), which none of
+#: the paper's four filters needs.
+SCRATCH_COUNTER = FilterSpec(
+    name="scratch-counter",
+    description="accept IP packets, counting acceptances in scratch[0]",
+    source="""
+        LDQ    r4, 8(r1)
+        EXTWL  r4, 4, r4
+        CMPEQ  r4, 8, r0
+        BEQ    r0, out
+        LDQ    r5, 0(r3)       % scratch word 0: running count
+        ADDQ   r5, 1, r5
+        STQ    r5, 0(r3)
+out:    RET
+    """,
+)

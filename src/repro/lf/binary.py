@@ -1,0 +1,249 @@
+"""Binary wire format for LF objects — the PCC binary's proof encoding.
+
+The paper (§2.3): "we have designed a binary encoding of LF
+representations ... a typical PCC binary contains a section with the native
+code ..., followed by a symbol table used to reconstruct the LF
+representation at the code consumer site, and the binary encoding of the LF
+representation of the safety proof."
+
+This module implements exactly that split:
+
+* the **symbol table** interns every distinct constant name used by the
+  proof (it is what the paper calls the *relocation section*: its size
+  "increases linearly with the number of distinct proof rules used");
+* the **term stream** is a compact prefix encoding, one tag byte per node,
+  with varint-coded integers and symbol references.
+
+Deserialization is fully validating: truncated input, unknown tags, or
+out-of-range symbol indices raise :class:`repro.errors.LfError` — a
+tampered proof section cannot crash the consumer.
+"""
+
+from __future__ import annotations
+
+from repro.errors import LfError
+from repro.lf.syntax import (
+    LfApp,
+    LfConst,
+    LfInt,
+    LfLam,
+    LfPi,
+    LfTerm,
+    LfVar,
+)
+
+_TAG_CONST = 0x01
+_TAG_VAR = 0x02
+_TAG_INT = 0x03
+_TAG_APP = 0x04
+_TAG_LAM = 0x05
+_TAG_PI = 0x06
+_TAG_REF = 0x07  # back-reference to an earlier compound node (DAG sharing)
+
+
+def _write_varint(out: bytearray, value: int) -> None:
+    if value < 0:
+        raise LfError(f"varint cannot encode negative value {value}")
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return
+
+
+def _read_varint(data: bytes, offset: int) -> tuple[int, int]:
+    result = 0
+    shift = 0
+    while True:
+        if offset >= len(data):
+            raise LfError("truncated varint")
+        byte = data[offset]
+        offset += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, offset
+        shift += 7
+        if shift > 1024:
+            raise LfError("varint too long")
+
+
+def _collect_symbols(term: LfTerm, symbols: dict[str, int]) -> None:
+    stack = [term]
+    seen: set[int] = set()  # proof objects are DAGs; visit nodes once
+    while stack:
+        node = stack.pop()
+        if id(node) in seen:
+            continue
+        seen.add(id(node))
+        if isinstance(node, LfConst):
+            if node.name not in symbols:
+                symbols[node.name] = len(symbols)
+        elif isinstance(node, LfApp):
+            stack.append(node.fn)
+            stack.append(node.arg)
+        elif isinstance(node, LfLam):
+            stack.append(node.ty)
+            stack.append(node.body)
+        elif isinstance(node, LfPi):
+            stack.append(node.dom)
+            stack.append(node.cod)
+
+
+def serialize_lf(term: LfTerm, share: bool = True) -> tuple[bytes, bytes]:
+    """Serialize to ``(symbol_table, term_stream)``.
+
+    The two sections are returned separately because the PCC container
+    places them at different offsets (Figure 7) and reports their sizes
+    separately (Table 1's discussion of relocation-section growth).
+
+    With ``share`` (the default), repeated compound subterms are emitted
+    once and back-referenced afterwards — safety-predicate proofs repeat
+    the same formula encodings constantly, so this is the optimization
+    that makes PCC binaries small (the paper: "we have implemented several
+    optimizations in the representation of the proofs").  ``share=False``
+    is the naive tree encoding, kept for the ablation benchmark.
+    """
+    symbols: dict[str, int] = {}
+    _collect_symbols(term, symbols)
+
+    table = bytearray()
+    _write_varint(table, len(symbols))
+    for name in symbols:  # insertion order == index order
+        encoded = name.encode("utf-8")
+        _write_varint(table, len(encoded))
+        table.extend(encoded)
+
+    stream = bytearray()
+    emitted: dict[LfTerm, int] = {}
+    compound_count = 0
+
+    def emit(node: LfTerm) -> None:
+        nonlocal compound_count
+        if isinstance(node, LfConst):
+            stream.append(_TAG_CONST)
+            _write_varint(stream, symbols[node.name])
+            return
+        if isinstance(node, LfVar):
+            stream.append(_TAG_VAR)
+            _write_varint(stream, node.index)
+            return
+        if isinstance(node, LfInt):
+            stream.append(_TAG_INT)
+            # Zigzag so the (rare) negative literal still encodes.
+            value = node.value
+            if value >= 0:
+                _write_varint(stream, value << 1)
+            else:
+                _write_varint(stream, ((-value) << 1) | 1)
+            return
+        if share:
+            reference = emitted.get(node)
+            if reference is not None:
+                stream.append(_TAG_REF)
+                _write_varint(stream, reference)
+                return
+        if isinstance(node, LfApp):
+            stream.append(_TAG_APP)
+            emit(node.fn)
+            emit(node.arg)
+        elif isinstance(node, LfLam):
+            stream.append(_TAG_LAM)
+            emit(node.ty)
+            emit(node.body)
+        elif isinstance(node, LfPi):
+            stream.append(_TAG_PI)
+            emit(node.dom)
+            emit(node.cod)
+        else:
+            raise LfError(f"cannot serialize {node!r}")
+        if share:
+            # Registered *after* children so references are to completed
+            # nodes; ids are assigned in completion order, matching the
+            # decoder.
+            emitted[node] = compound_count
+            compound_count += 1
+
+    emit(term)
+    return bytes(table), bytes(stream)
+
+
+def deserialize_lf(table: bytes, stream: bytes,
+                   max_nodes: int = 5_000_000) -> LfTerm:
+    """Rebuild an LF term from its two sections, validating as it goes."""
+    count, offset = _read_varint(table, 0)
+    if count > len(table):
+        raise LfError("symbol table length is implausible")
+    names: list[str] = []
+    for __ in range(count):
+        length, offset = _read_varint(table, offset)
+        if offset + length > len(table):
+            raise LfError("truncated symbol table")
+        try:
+            names.append(table[offset:offset + length].decode("utf-8"))
+        except UnicodeDecodeError as error:
+            raise LfError("symbol table is not valid UTF-8") from error
+        offset += length
+    if offset != len(table):
+        raise LfError("trailing bytes in symbol table")
+
+    position = 0
+    nodes = 0
+    compounds: list[LfTerm] = []
+
+    def read() -> LfTerm:
+        nonlocal position, nodes
+        nodes += 1
+        if nodes > max_nodes:
+            raise LfError("proof term too large")
+        if position >= len(stream):
+            raise LfError("truncated term stream")
+        tag = stream[position]
+        position += 1
+        if tag == _TAG_CONST:
+            index, pos = _read_varint(stream, position)
+            position = pos
+            if index >= len(names):
+                raise LfError(f"symbol index {index} out of range")
+            return LfConst(names[index])
+        if tag == _TAG_VAR:
+            index, pos = _read_varint(stream, position)
+            position = pos
+            return LfVar(index)
+        if tag == _TAG_INT:
+            raw, pos = _read_varint(stream, position)
+            position = pos
+            value = -(raw >> 1) if raw & 1 else raw >> 1
+            return LfInt(value)
+        if tag == _TAG_REF:
+            index, pos = _read_varint(stream, position)
+            position = pos
+            if index >= len(compounds):
+                raise LfError(f"back-reference {index} out of range")
+            return compounds[index]
+        if tag == _TAG_APP:
+            fn = read()
+            arg = read()
+            result: LfTerm = LfApp(fn, arg)
+        elif tag == _TAG_LAM:
+            ty = read()
+            body = read()
+            result = LfLam(ty, body)
+        elif tag == _TAG_PI:
+            dom = read()
+            cod = read()
+            result = LfPi(dom, cod)
+        else:
+            raise LfError(f"unknown term tag {tag:#x}")
+        # Completion order mirrors the encoder's id assignment, and the
+        # shared node becomes a shared Python object — the type checker's
+        # memoization relies on exactly this.
+        compounds.append(result)
+        return result
+
+    term = read()
+    if position != len(stream):
+        raise LfError("trailing bytes in term stream")
+    return term

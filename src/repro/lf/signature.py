@@ -1,0 +1,522 @@
+"""The LF signature: first-order logic + the rule set Delta.
+
+The signature is the consumer's *published safety-policy logic* (paper
+§2.1: "a set of axioms that can be used to validate the safety predicate").
+It declares:
+
+* the syntactic classes ``tm`` (individuals), ``mem`` (memory states) and
+  ``form`` (formulas), with one constructor per logic operator/predicate;
+* the judgement ``pf : form -> type``;
+* one constant per inference rule.  Purely logical rules (and the
+  arithmetic rules whose premises fully constrain them, like
+  ``add64_exact``) are ordinary LF constants.  Schemas whose soundness
+  depends on *literal* values (mask disjointness, ground evaluation,
+  Fourier-Motzkin) carry a side condition: a decidable predicate on the
+  application spine, run by the type checker at every full application.
+
+Side conditions delegate to the same rule functions the Delta checker
+uses (:mod:`repro.proof.rules`), decoding the LF arguments back into logic
+terms first — one implementation of the arithmetic, two proof formats.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.errors import LfError, ProofError
+from repro.lf.encode import decode_logic_formula, decode_logic_term
+from repro.lf.syntax import (
+    KIND,
+    LfApp,
+    LfConst,
+    LfInt,
+    LfLam,
+    LfPi,
+    LfTerm,
+    LfVar,
+    TYPE,
+)
+from repro.logic.formulas import Atom, Truth, conjuncts
+from repro.logic.terms import App, OPS, WORD_MOD
+from repro.proof.rules import RULES
+
+SideCondition = Callable[[Sequence[LfTerm]], bool]
+
+
+@dataclass(frozen=True)
+class SigEntry:
+    """One signature declaration."""
+
+    name: str
+    ty: LfTerm
+    side_condition: SideCondition | None = None
+    side_arity: int = 0
+
+
+@dataclass(frozen=True)
+class Signature:
+    entries: dict[str, SigEntry]
+
+
+# -- a tiny named-binder builder (converted to de Bruijn below) -------------
+
+@dataclass(frozen=True)
+class _Ref:
+    """A named variable reference inside a signature type skeleton."""
+
+    name: str
+
+
+def _to_db(term, stack: tuple[str, ...]) -> LfTerm:
+    if isinstance(term, _Ref):
+        for distance, name in enumerate(reversed(stack)):
+            if name == term.name:
+                return LfVar(distance)
+        raise LfError(f"unbound reference {term.name!r} in signature")
+    if isinstance(term, (LfConst, LfInt)):
+        return term
+    if isinstance(term, LfApp):
+        return LfApp(_to_db(term.fn, stack), _to_db(term.arg, stack))
+    if isinstance(term, LfPi):
+        return LfPi(_to_db(term.dom, stack),
+                    _to_db(term.cod, stack + (term.hint,)), term.hint)
+    if isinstance(term, LfLam):
+        return LfLam(_to_db(term.ty, stack),
+                     _to_db(term.body, stack + (term.hint,)), term.hint)
+    raise LfError(f"bad signature skeleton node: {term!r}")
+
+
+def _pi(name: str, dom, cod) -> LfPi:
+    return LfPi(dom, cod, hint=name)
+
+
+def _arrow(dom, cod) -> LfPi:
+    # Non-dependent function space; the codomain ignores the binder, and
+    # because references are named, no shifting is needed at build time.
+    return LfPi(dom, cod, hint="_")
+
+
+def _app(fn, *args):
+    result = fn
+    for arg in args:
+        result = LfApp(result, arg)
+    return result
+
+
+_TM = LfConst("tm")
+_MEM = LfConst("mem")
+_FORM = LfConst("form")
+_PF = LfConst("pf")
+
+
+def _pf(formula) -> LfTerm:
+    return LfApp(_PF, formula)
+
+
+def _arrows(*types) -> LfTerm:
+    result = types[-1]
+    for dom in reversed(types[:-1]):
+        result = _arrow(dom, result)
+    return result
+
+
+# -- side conditions ---------------------------------------------------------
+
+def _delegate(rule: str, goal_builder) -> SideCondition:
+    """Build a side condition that decodes the spine and re-checks the
+    corresponding Delta rule (ignoring its premise obligations, which the
+    LF type already enforces)."""
+
+    def condition(args: Sequence[LfTerm]) -> bool:
+        try:
+            goal = goal_builder(args)
+            RULES[rule](goal, (), {})
+        except (LfError, ProofError):
+            return False
+        return True
+
+    return condition
+
+
+def _dt(term: LfTerm):
+    return decode_logic_term(term)
+
+
+def _sc_arith_eval(args: Sequence[LfTerm]) -> bool:
+    try:
+        goal = decode_logic_formula(args[0])
+        RULES["arith_eval"](goal, (), {})
+    except (LfError, ProofError):
+        return False
+    return True
+
+
+def _sc_linarith(args: Sequence[LfTerm]) -> bool:
+    try:
+        premises_formula = decode_logic_formula(args[0])
+        goal = decode_logic_formula(args[1])
+        if isinstance(premises_formula, Truth):
+            premises: tuple = ()
+        else:
+            parts = conjuncts(premises_formula)
+            if not all(isinstance(part, Atom) for part in parts):
+                return False
+            premises = tuple(parts)
+        RULES["linarith"](goal, premises, {})
+    except (LfError, ProofError):
+        return False
+    return True
+
+
+def _mk_eq(a, b) -> Atom:
+    return Atom("eq", (a, b))
+
+
+_SC = {
+    "arith_eval": (_sc_arith_eval, 1),
+    "mod_word": (_delegate(
+        "mod_word",
+        lambda a: _mk_eq(App("mod64", (_dt(a[0]),)), _dt(a[0]))), 1),
+    "norm_mod_eq": (_delegate(
+        "norm_mod_eq",
+        lambda a: _mk_eq(App("mod64", (_dt(a[0]),)),
+                         App("mod64", (_dt(a[1]),)))), 2),
+    "word_ge0": (_delegate(
+        "word_ge0",
+        lambda a: Atom("ge", (_dt(a[0]), _int(0)))), 1),
+    "word_lt_mod": (_delegate(
+        "word_lt_mod",
+        lambda a: Atom("lt", (_dt(a[0]), _int(WORD_MOD)))), 1),
+    "and_ubound": (_delegate(
+        "and_ubound",
+        lambda a: Atom("le", (App("and64", (_dt(a[0]), _dt(a[1]))),
+                              _dt(a[1])))), 2),
+    "and_mask_disjoint": (_delegate(
+        "and_mask_disjoint",
+        lambda a: _mk_eq(App("and64", (App("and64", (_dt(a[0]), _dt(a[1]))),
+                                       _dt(a[2]))), _int(0))), 3),
+    "add_align": (_delegate(
+        "add_align",
+        lambda a: _mk_eq(App("and64", (App("add64", (_dt(a[0]), _dt(a[1]))),
+                                       _dt(a[2]))), _int(0))), 5),
+    "srl_bound": (_delegate(
+        "srl_bound",
+        lambda a: Atom("lt", (App("srl64", (_dt(a[0]), _dt(a[1]))),
+                              _dt(a[2])))), 3),
+    "sll_align": (_delegate(
+        "sll_align",
+        lambda a: _mk_eq(App("and64", (App("sll64", (_dt(a[0]), _dt(a[1]))),
+                                       _dt(a[2]))), _int(0))), 3),
+    "extbl_bound": (_delegate(
+        "ext_bound",
+        lambda a: Atom("lt", (App("extbl", (_dt(a[0]), _dt(a[1]))),
+                              _dt(a[2])))), 3),
+    "extwl_bound": (_delegate(
+        "ext_bound",
+        lambda a: Atom("lt", (App("extwl", (_dt(a[0]), _dt(a[1]))),
+                              _dt(a[2])))), 3),
+    "extll_bound": (_delegate(
+        "ext_bound",
+        lambda a: Atom("lt", (App("extll", (_dt(a[0]), _dt(a[1]))),
+                              _dt(a[2])))), 3),
+    "or_disjoint": (_delegate(
+        "or_disjoint",
+        lambda a: _mk_eq(
+            App("or64", (App("and64", (_dt(a[0]), _dt(a[1]))), _dt(a[2]))),
+            App("add64", (App("and64", (_dt(a[0]), _dt(a[1]))),
+                          _dt(a[2]))))), 4),
+    "linarith": (_sc_linarith, 3),
+}
+
+
+def _sc_sll_ubound(args: Sequence[LfTerm]) -> bool:
+    try:
+        a = _dt(args[0])
+        k = _dt(args[1])
+        m = _dt(args[2])
+        c = _dt(args[3])
+        goal = Atom("le", (App("sll64", (a, k)), c))
+        RULES["sll_ubound"](goal, (m,), {})
+    except (LfError, ProofError):
+        return False
+    return True
+
+
+_SC["sll_ubound"] = (_sc_sll_ubound, 6)
+
+
+def _sc_shift_trunc_le(args: Sequence[LfTerm]) -> bool:
+    try:
+        a = _dt(args[0])
+        k = _dt(args[1])
+        inner = App("srl64", (a, k))
+        goal = Atom("le", (App("sll64", (inner, k)), App("mod64", (a,))))
+        RULES["shift_trunc_le"](goal, (), {})
+    except (LfError, ProofError):
+        return False
+    return True
+
+
+def _sc_sll_lt_of_srl(args: Sequence[LfTerm]) -> bool:
+    try:
+        a = _dt(args[0])
+        k = _dt(args[1])
+        b = _dt(args[2])
+        goal = Atom("lt", (App("sll64", (a, k)), App("mod64", (b,))))
+        RULES["sll_lt_of_srl"](goal, (b,), {})
+    except (LfError, ProofError):
+        return False
+    return True
+
+
+_SC["shift_trunc_le"] = (_sc_shift_trunc_le, 2)
+_SC["sll_lt_of_srl"] = (_sc_sll_lt_of_srl, 4)
+
+
+def _sc_and_submask(args: Sequence[LfTerm]) -> bool:
+    """and_submask carries its wide mask as a rule *parameter*, so the
+    delegate pattern does not fit; re-check the literal condition here."""
+    try:
+        goal = _mk_eq(App("and64", (_dt(args[0]), _dt(args[2]))), _int(0))
+        RULES["and_submask"](goal, (_dt(args[1]),), {})
+    except (LfError, ProofError):
+        return False
+    return True
+
+
+_SC["and_submask"] = (_sc_and_submask, 4)
+
+
+def _int(value: int):
+    from repro.logic.terms import Int
+    return Int(value)
+
+
+# -- the signature -----------------------------------------------------------
+
+def _build_signature() -> Signature:
+    entries: dict[str, SigEntry] = {}
+
+    def declare(name: str, ty, side: str | None = None) -> None:
+        converted = _to_db(ty, ())
+        if side is not None:
+            condition, arity = _SC[side]
+            entries[name] = SigEntry(name, converted, condition, arity)
+        else:
+            entries[name] = SigEntry(name, converted)
+
+    # Syntactic classes.
+    declare("tm", TYPE)
+    declare("mem", TYPE)
+    declare("form", TYPE)
+    declare("pf", _arrow(_FORM, TYPE))
+
+    # Term constructors, straight from the logic operator table.
+    for op, spec in OPS.items():
+        if op == "sel":
+            declare(op, _arrows(_MEM, _TM, _TM))
+        elif op == "upd":
+            declare(op, _arrows(_MEM, _TM, _TM, _MEM))
+        else:
+            declare(op, _arrows(*([_TM] * spec.arity), _TM))
+
+    # Machine-state constants: free registers in loop invariants encode as
+    # these (the VC generator closes over them when building the SP).
+    for index in range(11):
+        declare(f"r{index}", _TM)
+    declare("rm", _MEM)
+
+    # Formula constructors.
+    declare("true", _FORM)
+    declare("false", _FORM)
+    for connective in ("and", "or", "imp"):
+        declare(connective, _arrows(_FORM, _FORM, _FORM))
+    for pred in ("eq", "ne", "lt", "le", "gt", "ge"):
+        declare(pred, _arrows(_TM, _TM, _FORM))
+    for pred in ("rd", "wr"):
+        declare(pred, _arrow(_TM, _FORM))
+    declare("all", _arrow(_arrow(_TM, _FORM), _FORM))
+    declare("allm", _arrow(_arrow(_MEM, _FORM), _FORM))
+
+    a, b, c = _Ref("a"), _Ref("b"), _Ref("c")
+    t, m = _Ref("t"), _Ref("m")
+    p = _Ref("p")
+
+    # Predicate calculus.
+    declare("truei", _pf(LfConst("true")))
+    declare("andi", _pi("a", _FORM, _pi("b", _FORM, _arrows(
+        _pf(a), _pf(b), _pf(_app(LfConst("and"), a, b))))))
+    declare("andel", _pi("a", _FORM, _pi("b", _FORM, _arrow(
+        _pf(_app(LfConst("and"), a, b)), _pf(a)))))
+    declare("ander", _pi("a", _FORM, _pi("b", _FORM, _arrow(
+        _pf(_app(LfConst("and"), a, b)), _pf(b)))))
+    declare("impi", _pi("a", _FORM, _pi("b", _FORM, _arrow(
+        _arrow(_pf(a), _pf(b)), _pf(_app(LfConst("imp"), a, b))))))
+    declare("impe", _pi("a", _FORM, _pi("b", _FORM, _arrows(
+        _pf(_app(LfConst("imp"), a, b)), _pf(a), _pf(b)))))
+    declare("alli", _pi("p", _arrow(_TM, _FORM), _arrow(
+        _pi("x", _TM, _pf(_app(p, _Ref("x")))),
+        _pf(_app(LfConst("all"), p)))))
+    declare("alle", _pi("p", _arrow(_TM, _FORM), _pi("t", _TM, _arrow(
+        _pf(_app(LfConst("all"), p)), _pf(_app(p, t))))))
+    declare("alli_m", _pi("p", _arrow(_MEM, _FORM), _arrow(
+        _pi("x", _MEM, _pf(_app(p, _Ref("x")))),
+        _pf(_app(LfConst("allm"), p)))))
+    declare("alle_m", _pi("p", _arrow(_MEM, _FORM), _pi("t", _MEM, _arrow(
+        _pf(_app(LfConst("allm"), p)), _pf(_app(p, t))))))
+    declare("ori1", _pi("a", _FORM, _pi("b", _FORM, _arrow(
+        _pf(a), _pf(_app(LfConst("or"), a, b))))))
+    declare("ori2", _pi("a", _FORM, _pi("b", _FORM, _arrow(
+        _pf(b), _pf(_app(LfConst("or"), a, b))))))
+    declare("ore", _pi("a", _FORM, _pi("b", _FORM, _pi("c", _FORM, _arrows(
+        _pf(_app(LfConst("or"), a, b)),
+        _pf(_app(LfConst("imp"), a, c)),
+        _pf(_app(LfConst("imp"), b, c)),
+        _pf(c))))))
+    declare("falsee", _pi("a", _FORM, _arrow(
+        _pf(LfConst("false")), _pf(a))))
+
+    def eq_f(x, y):
+        return _app(LfConst("eq"), x, y)
+
+    declare("eqrefl", _pi("t", _TM, _pf(eq_f(t, t))))
+    declare("eqsym", _pi("a", _TM, _pi("b", _TM, _arrow(
+        _pf(eq_f(a, b)), _pf(eq_f(b, a))))))
+    declare("eqtrans", _pi("a", _TM, _pi("m", _TM, _pi("b", _TM, _arrows(
+        _pf(eq_f(a, m)), _pf(eq_f(m, b)), _pf(eq_f(a, b)))))))
+    declare("eqsub", _pi("p", _arrow(_TM, _FORM),
+                         _pi("a", _TM, _pi("b", _TM, _arrows(
+                             _pf(eq_f(a, b)), _pf(_app(p, a)),
+                             _pf(_app(p, b)))))))
+
+    # Arithmetic schemas.
+    def mod64_t(x):
+        return _app(LfConst("mod64"), x)
+
+    declare("arith_eval", _pi("f", _FORM, _pf(_Ref("f"))),
+            side="arith_eval")
+    declare("mod_word", _pi("t", _TM, _pf(eq_f(mod64_t(t), t))),
+            side="mod_word")
+    declare("norm_mod_eq", _pi("a", _TM, _pi("b", _TM, _pf(
+        eq_f(mod64_t(a), mod64_t(b))))), side="norm_mod_eq")
+    declare("word_ge0", _pi("t", _TM, _pf(
+        _app(LfConst("ge"), t, LfInt(0)))), side="word_ge0")
+    declare("word_lt_mod", _pi("t", _TM, _pf(
+        _app(LfConst("lt"), t, LfInt(WORD_MOD)))), side="word_lt_mod")
+
+    for name, (op, flag_pred, conclusion_pred) in (
+            ("cmpult_true", ("cmpult", "ne", "lt")),
+            ("cmpult_false", ("cmpult", "eq", "ge")),
+            ("cmpule_true", ("cmpule", "ne", "le")),
+            ("cmpule_false", ("cmpule", "eq", "gt")),
+            ("cmpeq_true", ("cmpeq", "ne", "eq")),
+            ("cmpeq_false", ("cmpeq", "eq", "ne"))):
+        flag = _app(LfConst(op), a, b)
+        declare(name, _pi("a", _TM, _pi("b", _TM, _arrow(
+            _pf(_app(LfConst(flag_pred), flag, LfInt(0))),
+            _pf(_app(LfConst(conclusion_pred), mod64_t(a), mod64_t(b)))))))
+
+    declare("add64_exact", _pi("a", _TM, _pi("b", _TM, _arrows(
+        _pf(_app(LfConst("ge"), a, LfInt(0))),
+        _pf(_app(LfConst("ge"), b, LfInt(0))),
+        _pf(_app(LfConst("lt"), _app(LfConst("add"), a, b),
+                 LfInt(WORD_MOD))),
+        _pf(eq_f(_app(LfConst("add64"), a, b),
+                 _app(LfConst("add"), a, b)))))))
+    declare("sub64_exact", _pi("a", _TM, _pi("b", _TM, _arrows(
+        _pf(_app(LfConst("ge"), b, LfInt(0))),
+        _pf(_app(LfConst("le"), b, a)),
+        _pf(_app(LfConst("lt"), a, LfInt(WORD_MOD))),
+        _pf(eq_f(_app(LfConst("sub64"), a, b),
+                 _app(LfConst("sub"), a, b)))))))
+
+    declare("and_ubound", _pi("a", _TM, _pi("c", _TM, _pf(
+        _app(LfConst("le"), _app(LfConst("and64"), a, c), c)))),
+        side="and_ubound")
+    declare("and_mask_disjoint", _pi("a", _TM, _pi("b", _TM, _pi(
+        "c", _TM, _pf(eq_f(
+            _app(LfConst("and64"), _app(LfConst("and64"), a, b), c),
+            LfInt(0)))))), side="and_mask_disjoint")
+    declare("add_align", _pi("a", _TM, _pi("b", _TM, _pi("m", _TM, _arrows(
+        _pf(eq_f(_app(LfConst("and64"), a, m), LfInt(0))),
+        _pf(eq_f(_app(LfConst("and64"), b, m), LfInt(0))),
+        _pf(eq_f(_app(LfConst("and64"), _app(LfConst("add64"), a, b), m),
+                 LfInt(0))))))), side="add_align")
+    declare("srl_bound", _pi("a", _TM, _pi("b", _TM, _pi("c", _TM, _pf(
+        _app(LfConst("lt"), _app(LfConst("srl64"), a, b), c))))),
+        side="srl_bound")
+    declare("sll_align", _pi("a", _TM, _pi("b", _TM, _pi("c", _TM, _pf(
+        eq_f(_app(LfConst("and64"), _app(LfConst("sll64"), a, b), c),
+             LfInt(0)))))), side="sll_align")
+    for ext_op in ("extbl", "extwl", "extll"):
+        declare(f"{ext_op}_bound",
+                _pi("a", _TM, _pi("b", _TM, _pi("c", _TM, _pf(
+                    _app(LfConst("lt"), _app(LfConst(ext_op), a, b),
+                         c))))), side=f"{ext_op}_bound")
+
+    declare("sel_upd_same", _pi("m", _MEM, _pi("a", _TM, _pi(
+        "v", _TM, _pi("b", _TM, _arrow(
+            _pf(eq_f(mod64_t(a), mod64_t(b))),
+            _pf(eq_f(_app(LfConst("sel"),
+                          _app(LfConst("upd"), m, a, _Ref("v")), b),
+                     mod64_t(_Ref("v"))))))))))
+    declare("sel_upd_other", _pi("m", _MEM, _pi("a", _TM, _pi(
+        "v", _TM, _pi("b", _TM, _arrow(
+            _pf(_app(LfConst("ne"), mod64_t(a), mod64_t(b))),
+            _pf(eq_f(_app(LfConst("sel"),
+                          _app(LfConst("upd"), m, a, _Ref("v")), b),
+                     _app(LfConst("sel"), m, b)))))))))
+
+    def mod64_ref(x):
+        return _app(LfConst("mod64"), x)
+
+    declare("sll_ubound", _pi("a", _TM, _pi("k", _TM, _pi(
+        "m", _TM, _pi("c", _TM, _arrows(
+            _pf(_app(LfConst("ge"), a, LfInt(0))),
+            _pf(_app(LfConst("le"), a, _Ref("m"))),
+            _pf(_app(LfConst("le"),
+                     _app(LfConst("sll64"), a, _Ref("k")),
+                     _Ref("c")))))))), side="sll_ubound")
+
+    declare("shift_trunc_le", _pi("a", _TM, _pi("k", _TM, _pf(
+        _app(LfConst("le"),
+             _app(LfConst("sll64"),
+                  _app(LfConst("srl64"), a, _Ref("k")), _Ref("k")),
+             mod64_ref(a))))), side="shift_trunc_le")
+    declare("sll_lt_of_srl", _pi("a", _TM, _pi("k", _TM, _pi(
+        "b", _TM, _arrow(
+            _pf(_app(LfConst("lt"), mod64_ref(a),
+                     mod64_ref(_app(LfConst("srl64"), b, _Ref("k"))))),
+            _pf(_app(LfConst("lt"),
+                     _app(LfConst("sll64"), a, _Ref("k")),
+                     mod64_ref(b))))))), side="sll_lt_of_srl")
+
+    declare("or_disjoint", _pi("x", _TM, _pi("c", _TM, _pi("b", _TM, _arrow(
+        _pf(eq_f(_app(LfConst("and64"), b, c), LfInt(0))),
+        _pf(eq_f(
+            _app(LfConst("or64"),
+                 _app(LfConst("and64"), _Ref("x"), c), b),
+            _app(LfConst("add64"),
+                 _app(LfConst("and64"), _Ref("x"), c), b))))))),
+        side="or_disjoint")
+    declare("and_submask", _pi("a", _TM, _pi("c1", _TM, _pi(
+        "c2", _TM, _arrow(
+            _pf(eq_f(_app(LfConst("and64"), a, _Ref("c1")), LfInt(0))),
+            _pf(eq_f(_app(LfConst("and64"), a, _Ref("c2")),
+                     LfInt(0))))))), side="and_submask")
+
+    for cmp_op in ("cmpeq", "cmpult", "cmpule"):
+        flag = _app(LfConst(cmp_op), a, b)
+        declare(f"{cmp_op}_bool", _pi("a", _TM, _pi("b", _TM, _pf(
+            _app(LfConst("or"),
+                 eq_f(flag, LfInt(0)), eq_f(flag, LfInt(1)))))))
+
+    declare("linarith", _pi("a", _FORM, _pi("c", _FORM, _arrow(
+        _pf(a), _pf(c)))), side="linarith")
+
+    return Signature(entries)
+
+
+#: The published signature — part of the consumer's safety policy.
+SIGNATURE = _build_signature()

@@ -1,0 +1,48 @@
+"""Pair-memoized structural equality for immutable DAG nodes.
+
+Safety-predicate formulas, proofs, and their LF encodings are DAGs: the
+same join-point subformula appears under every branch of diamond control
+flow.  Plain structural ``==`` between two *distinct* objects walks the
+unfolded tree — exponential in program size for conditional chains — even
+when both operands internally share nodes, because recursion has no memory.
+
+Every node class in this code base therefore implements ``__eq__`` through
+:func:`dag_equal`, which
+
+* short-circuits on identity,
+* rejects on cached hashes (computed once per node, also identity-cached),
+* and memoizes verdicts per object *pair*, making repeated deep
+  comparisons linear in the number of distinct node pairs.
+
+The cache is global and bounded; entries keep their operands alive so ids
+stay valid.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+_CACHE: dict[tuple[int, int], tuple] = {}
+_CACHE_LIMIT = 1_000_000
+
+
+def dag_equal(a, b, fields: Callable) -> bool:
+    """Structural equality of two same-class nodes.
+
+    ``fields(x)`` returns the comparison-relevant field tuple; children
+    are compared with ``==``, re-entering their own pair-memoized
+    ``__eq__``.
+    """
+    if a is b:
+        return True
+    if hash(a) != hash(b):  # hashes are cached on the nodes
+        return False
+    key = (id(a), id(b)) if id(a) < id(b) else (id(b), id(a))
+    cached = _CACHE.get(key)
+    if cached is not None:
+        return cached[2]
+    result = fields(a) == fields(b)
+    if len(_CACHE) >= _CACHE_LIMIT:
+        _CACHE.clear()
+    _CACHE[key] = (a, b, result)
+    return result

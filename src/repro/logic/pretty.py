@@ -1,0 +1,113 @@
+"""Pretty-printing of terms and formulas in the paper's notation.
+
+The output is for humans (examples, error messages, EXPERIMENTS.md); the
+canonical machine-readable form is the LF encoding.  The printer is total:
+any well-formed term or formula prints without error, and distinct
+structures print distinctly enough for debugging (parentheses are inserted
+conservatively rather than minimally).
+"""
+
+from __future__ import annotations
+
+from repro.logic.formulas import (
+    And,
+    Atom,
+    Falsity,
+    Forall,
+    Formula,
+    Implies,
+    Or,
+    Truth,
+)
+from repro.logic.terms import App, Int, Term, Var
+
+_INFIX = {
+    "add64": "(+)",
+    "sub64": "(-)",
+    "mul64": "(*)",
+    "and64": "&",
+    "or64": "|",
+    "xor64": "^",
+    "sll64": "<<",
+    "srl64": ">>",
+    "add": "+",
+    "sub": "-",
+    "mul": "*",
+}
+
+_ATOM_INFIX = {
+    "eq": "=",
+    "ne": "!=",
+    "lt": "<",
+    "le": "<=",
+    "gt": ">",
+    "ge": ">=",
+}
+
+
+#: id-keyed render caches (the prover sorts by rendered text constantly;
+#: the value tuple keeps the key object alive so ids stay unique).
+_TERM_CACHE: dict[int, tuple] = {}
+_FORMULA_CACHE: dict[int, tuple] = {}
+
+
+def pp_term(term: Term) -> str:
+    """Render a term as a string."""
+    if isinstance(term, Int):
+        return str(term.value)
+    if isinstance(term, Var):
+        return term.name
+    cached = _TERM_CACHE.get(id(term))
+    if cached is not None:
+        return cached[1]
+    rendered = _pp_app(term)
+    if len(_TERM_CACHE) >= 300_000:
+        _TERM_CACHE.clear()  # evict wholesale; never stop caching
+    _TERM_CACHE[id(term)] = (term, rendered)
+    return rendered
+
+
+def _pp_app(term: App) -> str:
+    if term.op in _INFIX:
+        left = pp_term(term.args[0])
+        right = pp_term(term.args[1])
+        return f"({left} {_INFIX[term.op]} {right})"
+    if term.op == "mod64":
+        return f"({pp_term(term.args[0])} mod 2^64)"
+    rendered = ", ".join(pp_term(arg) for arg in term.args)
+    return f"{term.op}({rendered})"
+
+
+def pp_formula(formula: Formula) -> str:
+    """Render a formula as a string."""
+    if isinstance(formula, Truth):
+        return "true"
+    if isinstance(formula, Falsity):
+        return "false"
+    cached = _FORMULA_CACHE.get(id(formula))
+    if cached is not None:
+        return cached[1]
+    rendered = _pp_formula_node(formula)
+    if len(_FORMULA_CACHE) >= 300_000:
+        _FORMULA_CACHE.clear()  # evict wholesale; never stop caching
+    _FORMULA_CACHE[id(formula)] = (formula, rendered)
+    return rendered
+
+
+def _pp_formula_node(formula: Formula) -> str:
+    if isinstance(formula, Atom):
+        if formula.pred in _ATOM_INFIX:
+            left = pp_term(formula.args[0])
+            right = pp_term(formula.args[1])
+            return f"{left} {_ATOM_INFIX[formula.pred]} {right}"
+        rendered = ", ".join(pp_term(arg) for arg in formula.args)
+        return f"{formula.pred}({rendered})"
+    if isinstance(formula, And):
+        return f"({pp_formula(formula.left)} /\\ {pp_formula(formula.right)})"
+    if isinstance(formula, Or):
+        return f"({pp_formula(formula.left)} \\/ {pp_formula(formula.right)})"
+    if isinstance(formula, Implies):
+        return f"({pp_formula(formula.left)} => {pp_formula(formula.right)})"
+    if isinstance(formula, Forall):
+        return f"(ALL {formula.var}. {pp_formula(formula.body)})"
+    raise TypeError(f"not a formula: {formula!r}")

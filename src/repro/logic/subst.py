@@ -1,0 +1,126 @@
+"""Capture-avoiding substitution on terms and formulas.
+
+The VC generator works by substituting terms for register variables in
+predicates — the paper's ``P[rd <- rs (+) op]`` notation — so substitution
+is on the hot path of the whole system.  Substitutions map variable *names*
+to terms; applying one under a quantifier renames the bound variable when it
+would capture a free variable of a substituted term.
+"""
+
+from __future__ import annotations
+
+from itertools import count
+from typing import Mapping
+
+from repro.errors import LogicError
+from repro.logic.formulas import (
+    And,
+    Atom,
+    Falsity,
+    Forall,
+    Formula,
+    Implies,
+    Or,
+    Truth,
+)
+from repro.logic.terms import App, Int, Term, Var, term_vars
+
+
+def subst_term(term: Term, mapping: Mapping[str, Term],
+               _memo: dict | None = None) -> Term:
+    """Apply ``mapping`` to every variable occurrence in ``term``.
+
+    Memoized on node identity: VC formulas are DAGs (diamond control flow
+    shares subformulas), and naive structural recursion would revisit
+    shared nodes exponentially often.  The memo also *preserves* sharing
+    in the output, keeping later passes fast too.
+    """
+    memo = _memo if _memo is not None else {}
+
+    def walk(t: Term) -> Term:
+        if isinstance(t, Int):
+            return t
+        if isinstance(t, Var):
+            return mapping.get(t.name, t)
+        cached = memo.get(id(t))
+        if cached is not None:
+            return cached
+        new_args = tuple(walk(arg) for arg in t.args)
+        result = t if new_args == t.args else App(t.op, new_args)
+        memo[id(t)] = result
+        return result
+
+    return walk(term)
+
+
+def _fresh_name(base: str, avoid: set[str]) -> str:
+    """A variable name derived from ``base`` not occurring in ``avoid``."""
+    for suffix in count(1):
+        candidate = f"{base}'{suffix}"
+        if candidate not in avoid:
+            return candidate
+    raise LogicError("unreachable")  # pragma: no cover
+
+
+def rename_bound(formula: Forall, new_name: str) -> Forall:
+    """Alpha-rename the binder of ``formula`` to ``new_name``."""
+    body = subst_formula(formula.body, {formula.var: Var(new_name)})
+    return Forall(new_name, body)
+
+
+def subst_formula(formula: Formula, mapping: Mapping[str, Term],
+                  _memo: dict | None = None) -> Formula:
+    """Apply ``mapping`` to the free variables of ``formula``.
+
+    Bound variables shadow the mapping; if a substituted term mentions the
+    bound name, the binder is alpha-renamed first so nothing is captured.
+    Like :func:`subst_term`, this is memoized on node identity per mapping
+    (crossing a binder changes the mapping and gets a fresh memo), which
+    keeps VC generation polynomial on diamond-shaped control flow.
+    """
+    memo = _memo if _memo is not None else {}
+    term_memo: dict = {}
+
+    def walk(f: Formula) -> Formula:
+        if isinstance(f, (Truth, Falsity)):
+            return f
+        cached = memo.get(id(f))
+        if cached is not None:
+            return cached
+        result = _subst_node(f)
+        memo[id(f)] = result
+        return result
+
+    def _subst_node(f: Formula) -> Formula:
+        if isinstance(f, Atom):
+            new_args = tuple(subst_term(arg, mapping, term_memo)
+                             for arg in f.args)
+            if new_args == f.args:
+                return f
+            return Atom(f.pred, new_args)
+        if isinstance(f, (And, Or, Implies)):
+            left = walk(f.left)
+            right = walk(f.right)
+            if left is f.left and right is f.right:
+                return f  # keep the original object: sharing must survive
+            return type(f)(left, right)
+        if isinstance(f, Forall):
+            inner = {name: term for name, term in mapping.items()
+                     if name != f.var}
+            if not inner:
+                return f
+            free_in_terms: set[str] = set()
+            for term in inner.values():
+                free_in_terms |= term_vars(term)
+            if f.var in free_in_terms:
+                avoid = free_in_terms | set(inner) | {f.var}
+                renamed = rename_bound(f, _fresh_name(f.var, avoid))
+                return Forall(renamed.var,
+                              subst_formula(renamed.body, inner))
+            body = subst_formula(f.body, inner)
+            if body is f.body:
+                return f
+            return Forall(f.var, body)
+        raise LogicError(f"not a formula: {f!r}")
+
+    return walk(formula)

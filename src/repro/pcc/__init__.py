@@ -1,0 +1,34 @@
+"""The proof-carrying-code mechanism itself (paper §2, Figure 1).
+
+* :mod:`repro.pcc.container` — the PCC binary: native code, relocation
+  (symbol table), proof, and loop-invariant sections, with the Figure 7
+  layout accounting;
+* :mod:`repro.pcc.certify` — the producer: assemble, compute the safety
+  predicate, prove it, encode the proof (the "compilation & certification"
+  box of Figure 1);
+* :mod:`repro.pcc.validate` — the consumer: parse the untrusted container,
+  recompute the safety predicate from the code it actually received, and
+  type-check the enclosed proof against it ("proof validation");
+* :mod:`repro.pcc.api` — the high-level producer/consumer façade used by
+  the examples.
+"""
+
+from repro.pcc.container import PccBinary, SectionLayout
+from repro.pcc.certify import certify
+from repro.pcc.validate import validate, ValidationReport
+from repro.pcc.api import CodeProducer, CodeConsumer, LoadedExtension
+from repro.pcc.negotiate import PolicyProposal, propose_policy, accept_policy
+
+__all__ = [
+    "PccBinary",
+    "SectionLayout",
+    "certify",
+    "validate",
+    "ValidationReport",
+    "CodeProducer",
+    "CodeConsumer",
+    "LoadedExtension",
+    "PolicyProposal",
+    "propose_policy",
+    "accept_policy",
+]

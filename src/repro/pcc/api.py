@@ -1,0 +1,88 @@
+"""High-level producer/consumer façade (paper Figure 1).
+
+:class:`CodeProducer` is the application: it assembles and certifies
+extensions against a published policy.  :class:`CodeConsumer` is the
+kernel: it publishes the policy, validates received binaries once, and
+afterwards invokes the native code directly — the whole point being that
+the per-invocation path has **zero** safety checks.
+
+A :class:`LoadedExtension` is the consumer-side handle: calling it runs the
+native code on the concrete machine with the caller-supplied registers and
+memory, exactly as the kernel would jump into mapped code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.alpha.isa import Program
+from repro.alpha.machine import Machine, MachineResult, Memory
+from repro.errors import ValidationError
+from repro.logic.formulas import Formula
+from repro.pcc.certify import CertificationResult, certify
+from repro.pcc.container import PccBinary
+from repro.pcc.validate import ValidationReport, validate
+from repro.vcgen.policy import SafetyPolicy
+
+
+@dataclass
+class CodeProducer:
+    """An untrusted extension writer targeting a published policy."""
+
+    policy: SafetyPolicy
+
+    def build(self, source: str | Program,
+              invariants: Mapping[int, Formula] | None = None) -> bytes:
+        """Assemble + certify ``source``; returns the PCC binary bytes."""
+        return self.certify(source, invariants).binary.to_bytes()
+
+    def certify(self, source: str | Program,
+                invariants: Mapping[int, Formula] | None = None,
+                ) -> CertificationResult:
+        """Like :meth:`build` but returns the full certification record."""
+        return certify(source, self.policy, invariants)
+
+
+@dataclass(frozen=True)
+class LoadedExtension:
+    """A validated extension, ready for unchecked native execution."""
+
+    program: Program
+    report: ValidationReport
+
+    def run(self, memory: Memory,
+            registers: Mapping[int, int] | None = None,
+            cost_model=None) -> MachineResult:
+        """Invoke the extension: full speed, no run-time checks."""
+        machine = Machine(self.program, memory,
+                          dict(registers or {}), cost_model)
+        return machine.run()
+
+
+@dataclass
+class CodeConsumer:
+    """A kernel/service that accepts PCC binaries under its policy."""
+
+    policy: SafetyPolicy
+    loaded: list[LoadedExtension] = field(default_factory=list)
+
+    def install(self, data: bytes | PccBinary,
+                measure_memory: bool = False) -> LoadedExtension:
+        """Validate and load an untrusted binary.
+
+        Raises :class:`ValidationError` if the binary does not carry a
+        valid proof for this consumer's policy.
+        """
+        report = validate(data, self.policy, measure_memory)
+        extension = LoadedExtension(report.program, report)
+        self.loaded.append(extension)
+        return extension
+
+    def try_install(self, data: bytes | PccBinary
+                    ) -> LoadedExtension | None:
+        """Like :meth:`install` but returns None instead of raising."""
+        try:
+            return self.install(data)
+        except ValidationError:
+            return None

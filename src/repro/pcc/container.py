@@ -1,0 +1,200 @@
+"""The PCC binary container (paper §2.3, Figure 7).
+
+A PCC binary is a flat byte string with four sections::
+
+    +--------+------------------+------------+---------------------+
+    |  code  |    relocation    |   proof    |  invariants (opt.)  |
+    +--------+------------------+------------+---------------------+
+
+* **code** — native DEC Alpha machine code, ready to map and execute;
+* **relocation** — the symbol table used to reconstruct the LF
+  representation at the consumer site (its size grows with the number of
+  distinct proof rules used, as the paper observes);
+* **proof** — the binary encoding of the LF proof object;
+* **invariants** — for programs with loops (§4): "the PCC binary contains
+  a table that maps each backward-branch target to a loop invariant",
+  each invariant stored as an encoded LF formula.
+
+The header is minimal (magic, version, four section lengths) and the
+parser validates every length before slicing, so a malformed container is
+rejected, never mis-read.  There is deliberately no checksum or signature:
+the whole point of PCC is that integrity is enforced semantically by
+revalidating the proof against the code actually received.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.errors import ValidationError
+from repro.lf.binary import deserialize_lf, serialize_lf
+from repro.lf.syntax import LfTerm
+
+_MAGIC = b"PCC1"
+_HEADER = struct.Struct("<4sHHIIII")  # magic, version, flags, 4 lengths
+VERSION = 1
+
+
+@dataclass(frozen=True)
+class SectionLayout:
+    """Byte offsets of each section — the numbers Figure 7 reports."""
+
+    code_start: int
+    relocation_start: int
+    proof_start: int
+    invariants_start: int
+    total: int
+
+    def rows(self) -> list[tuple[str, int, int]]:
+        """(name, start, end) rows for pretty reports."""
+        return [
+            ("native code", self.code_start, self.relocation_start),
+            ("relocation", self.relocation_start, self.proof_start),
+            ("proof", self.proof_start, self.invariants_start),
+            ("invariants", self.invariants_start, self.total),
+        ]
+
+
+@dataclass(frozen=True)
+class PccBinary:
+    """An assembled PCC binary, as produced or as received."""
+
+    code: bytes
+    relocation: bytes
+    proof: bytes
+    invariants: bytes = b""
+
+    def to_bytes(self) -> bytes:
+        """Serialize with the Figure 7 section order."""
+        header = _HEADER.pack(_MAGIC, VERSION, 0, len(self.code),
+                              len(self.relocation), len(self.proof),
+                              len(self.invariants))
+        return header + self.code + self.relocation + self.proof \
+            + self.invariants
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "PccBinary":
+        """Parse an untrusted byte string; raises ValidationError."""
+        if len(data) < _HEADER.size:
+            raise ValidationError("container shorter than its header")
+        magic, version, flags, code_len, reloc_len, proof_len, inv_len = \
+            _HEADER.unpack_from(data, 0)
+        if magic != _MAGIC:
+            raise ValidationError("bad magic; not a PCC binary")
+        if version != VERSION:
+            raise ValidationError(f"unsupported PCC version {version}")
+        if flags != 0:
+            raise ValidationError(f"unknown container flags {flags:#x}")
+        expected = _HEADER.size + code_len + reloc_len + proof_len + inv_len
+        if expected != len(data):
+            raise ValidationError(
+                f"section lengths ({expected} bytes) disagree with "
+                f"container size ({len(data)} bytes)")
+        offset = _HEADER.size
+        code = data[offset:offset + code_len]
+        offset += code_len
+        relocation = data[offset:offset + reloc_len]
+        offset += reloc_len
+        proof = data[offset:offset + proof_len]
+        offset += proof_len
+        invariants = data[offset:offset + inv_len]
+        return cls(code, relocation, proof, invariants)
+
+    def layout(self) -> SectionLayout:
+        """Byte offsets relative to the start of the code section, matching
+        the presentation in Figure 7 (which omits the header)."""
+        code_end = len(self.code)
+        reloc_end = code_end + len(self.relocation)
+        proof_end = reloc_end + len(self.proof)
+        total = proof_end + len(self.invariants)
+        return SectionLayout(0, code_end, reloc_end, proof_end, total)
+
+    @property
+    def size(self) -> int:
+        """Total size excluding the fixed header (the paper's metric)."""
+        return (len(self.code) + len(self.relocation) + len(self.proof)
+                + len(self.invariants))
+
+
+def pack_proof(term: LfTerm) -> tuple[bytes, bytes]:
+    """Encode an LF proof object into (relocation, proof) sections."""
+    return serialize_lf(term)
+
+
+def unpack_proof(relocation: bytes, proof: bytes) -> LfTerm:
+    """Decode the proof sections of a received binary (validating)."""
+    try:
+        return deserialize_lf(relocation, proof)
+    except Exception as error:
+        raise ValidationError(f"malformed proof section: {error}") from error
+
+
+def pack_invariants(invariants: dict[int, LfTerm]) -> bytes:
+    """Encode the backward-branch-target -> invariant table."""
+    out = bytearray()
+    out += _varint(len(invariants))
+    for pc in sorted(invariants):
+        table, stream = serialize_lf(invariants[pc])
+        out += _varint(pc)
+        out += _varint(len(table))
+        out += table
+        out += _varint(len(stream))
+        out += stream
+    return bytes(out)
+
+
+def unpack_invariants(data: bytes) -> dict[int, LfTerm]:
+    """Decode the invariant table of a received binary (validating)."""
+    if not data:
+        return {}
+    try:
+        count, offset = _read_varint(data, 0)
+        result: dict[int, LfTerm] = {}
+        for __ in range(count):
+            pc, offset = _read_varint(data, offset)
+            table_len, offset = _read_varint(data, offset)
+            table = data[offset:offset + table_len]
+            if len(table) != table_len:
+                raise ValidationError("truncated invariant table")
+            offset += table_len
+            stream_len, offset = _read_varint(data, offset)
+            stream = data[offset:offset + stream_len]
+            if len(stream) != stream_len:
+                raise ValidationError("truncated invariant stream")
+            offset += stream_len
+            result[pc] = deserialize_lf(table, stream)
+        if offset != len(data):
+            raise ValidationError("trailing bytes in invariant section")
+        return result
+    except ValidationError:
+        raise
+    except Exception as error:
+        raise ValidationError(
+            f"malformed invariant section: {error}") from error
+
+
+def _varint(value: int) -> bytes:
+    out = bytearray()
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return bytes(out)
+
+
+def _read_varint(data: bytes, offset: int) -> tuple[int, int]:
+    result = 0
+    shift = 0
+    while True:
+        if offset >= len(data):
+            raise ValidationError("truncated varint")
+        byte = data[offset]
+        offset += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, offset
+        shift += 7

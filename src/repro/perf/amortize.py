@@ -1,0 +1,43 @@
+"""Startup-cost amortization (Figure 9).
+
+PCC pays a one-time proof-validation cost and then runs checkless; the
+other approaches start (almost) immediately but pay per packet.  Figure 9
+plots cumulative cost against packets processed for Filter 4; the
+interesting numbers are the *crossover points* — the paper reports
+roughly 1,200 packets against BPF, 10,500 against Modula-3, and 28,000
+against SFI, and notes the trace source averaged ~1000 packets/second,
+so even the largest crossover is under half a minute of traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class AmortizationPoint:
+    packets: int
+    cumulative: float  # same unit as the inputs (seconds or cycles)
+
+
+def amortization_series(startup: float, per_packet: float,
+                        max_packets: int,
+                        points: int = 50) -> list[AmortizationPoint]:
+    """Cumulative cost at evenly spaced packet counts."""
+    if points < 2:
+        raise ValueError("need at least two points")
+    series = []
+    for step in range(points):
+        packets = round(step * max_packets / (points - 1))
+        series.append(AmortizationPoint(
+            packets, startup + packets * per_packet))
+    return series
+
+
+def crossover(startup_a: float, per_packet_a: float,
+              startup_b: float, per_packet_b: float) -> float | None:
+    """Packets after which approach *a* (higher startup, cheaper packets)
+    becomes cheaper than approach *b*; None if it never does."""
+    if per_packet_a >= per_packet_b:
+        return None
+    return (startup_a - startup_b) / (per_packet_b - per_packet_a)

@@ -1,0 +1,70 @@
+"""Human-readable proof rendering (the paper's Figure 6, as text).
+
+The checker validates proofs top-down by recomputing every premise's
+goal; :func:`explain_proof` does the same walk but renders it, producing
+the rule-and-goal tree the paper draws for SP_r.  Shared subproofs are
+printed once and referenced afterwards, mirroring how they are stored
+and transmitted.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ProofError
+from repro.logic.formulas import Formula
+from repro.logic.pretty import pp_formula
+from repro.proof.proofs import Proof
+from repro.proof.rules import RULES
+
+
+def explain_proof(proof: Proof, goal: Formula,
+                  max_depth: int = 12, max_width: int = 96) -> str:
+    """Render the proof of ``goal`` as an indented rule tree.
+
+    Raises :class:`ProofError` if the proof does not actually prove the
+    goal (rendering replays the rule functions, so it doubles as a
+    check).  Deep subtrees are elided with ``...`` past ``max_depth``.
+    """
+    lines: list[str] = []
+    seen: dict[int, int] = {}
+    counter = [0]
+
+    def clip(text: str) -> str:
+        if len(text) <= max_width:
+            return text
+        return text[:max_width - 3] + "..."
+
+    def walk(node: Proof, node_goal: Formula,
+             hyps: dict[str, Formula], depth: int) -> None:
+        indent = "  " * depth
+        reference = seen.get(id(node))
+        if reference is not None and node.premises:
+            lines.append(f"{indent}[see #{reference}] "
+                         f"{clip(pp_formula(node_goal))}")
+            return
+        rule = RULES.get(node.rule)
+        if rule is None:
+            raise ProofError(f"unknown rule {node.rule!r}")
+        obligations = rule(node_goal, node.params, hyps)
+        if len(obligations) != len(node.premises):
+            raise ProofError(f"rule {node.rule!r}: premise count mismatch")
+        label = ""
+        if node.premises:
+            counter[0] += 1
+            seen[id(node)] = counter[0]
+            label = f"#{counter[0]} "
+        lines.append(f"{indent}{label}{node.rule}: "
+                     f"{clip(pp_formula(node_goal))}")
+        if depth >= max_depth:
+            if node.premises:
+                lines.append(f"{indent}  ...")
+            return
+        for premise, (subgoal, extra) in zip(node.premises, obligations):
+            inner = dict(hyps)
+            inner.update(extra)
+            for name, formula in extra.items():
+                lines.append(f"{indent}  [{name}: "
+                             f"{clip(pp_formula(formula))}]")
+            walk(premise, subgoal, inner, depth + 1)
+
+    walk(proof, goal, {}, 0)
+    return "\n".join(lines)

@@ -1,0 +1,258 @@
+"""The verification-condition generator (Figure 4 of the paper).
+
+Predicates are computed backwards from the end of the program: the VC of an
+instruction is expressed in terms of the VC of its successors, with register
+assignments becoming substitutions (``P[rd <- rs (+) op]``), loads adding an
+``rd(address)`` obligation, stores adding ``wr(address)`` and updating the
+memory pseudo-register, and conditional branches splitting into implication
+under the branch hypothesis and its negation.
+
+Loops (§4): every backward-branch *target* must carry a loop invariant.
+Invariant points cut the control-flow graph into acyclic fragments; each
+fragment's VC is computed with invariant points treated as opaque (their VC
+is the invariant itself), and each invariant contributes a separate proof
+obligation ``Inv => VC(fragment starting there)``.  The overall safety
+predicate is the closed conjunction of all obligations — the paper notes
+this partitioning "tends to reduce the size of the proof dramatically",
+which ``benchmarks/bench_ablation_invariants.py`` measures.
+
+This module is part of the consumer's trusted computing base: both producer
+and consumer run it, and proof validation checks the proof against the
+consumer's own output, never the producer's claim.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.alpha.isa import (
+    NUM_REGS,
+    Br,
+    Branch,
+    Instruction,
+    Lda,
+    Ldah,
+    Ldq,
+    Lit,
+    OPERATE_NAMES,
+    Operate,
+    Program,
+    Ret,
+    Stq,
+    branch_target,
+    validate_program,
+)
+from repro.errors import VcGenError
+from repro.logic.formulas import And, Formula, Implies, Or, Forall, eq, ge, lt, ne, rd, wr
+from repro.logic.simplify import simplify_formula
+from repro.logic.subst import subst_formula
+from repro.logic.terms import App, Int, Term, Var, WORD_MOD, add64, sel, upd
+
+#: The logical variables naming the machine state, in quantifier order.
+REGISTER_VARS: tuple[str, ...] = tuple(f"r{i}" for i in range(NUM_REGS))
+MEMORY_VAR = "rm"
+
+_SIGN_BOUND = Int(1 << 63)
+
+
+def register_term(index: int) -> Var:
+    """The logical variable for machine register ``index``."""
+    return Var(f"r{index}")
+
+
+def _rb_term(rb) -> Term:
+    if isinstance(rb, Lit):
+        return Int(rb.value)
+    return register_term(rb.index)
+
+
+def _disp_term(disp: int) -> Int:
+    """A 16-bit displacement as a nonnegative word constant.
+
+    Negative displacements appear as their two's-complement word value,
+    which is exactly what ``add64`` then does with them.
+    """
+    return Int(disp % WORD_MOD)
+
+
+def _address_term(base_reg: int, disp: int) -> Term:
+    if disp == 0:
+        return register_term(base_reg)
+    return add64(register_term(base_reg), _disp_term(disp))
+
+
+def _branch_hypotheses(instruction: Branch) -> tuple[Formula, Formula]:
+    """(taken, not-taken) hypotheses for a conditional branch.
+
+    BEQ/BNE test the word against zero; the signed branches test the
+    two's-complement sign, i.e. whether the word value is below 2**63.
+    """
+    reg = register_term(instruction.rs.index)
+    name = instruction.name
+    if name == "BEQ":
+        return eq(reg, 0), ne(reg, 0)
+    if name == "BNE":
+        return ne(reg, 0), eq(reg, 0)
+    if name == "BGE":
+        return lt(reg, _SIGN_BOUND), ge(reg, _SIGN_BOUND)
+    if name == "BLT":
+        return ge(reg, _SIGN_BOUND), lt(reg, _SIGN_BOUND)
+    if name == "BGT":
+        return (And(lt(reg, _SIGN_BOUND), ne(reg, 0)),
+                Or(ge(reg, _SIGN_BOUND), eq(reg, 0)))
+    if name == "BLE":
+        return (Or(ge(reg, _SIGN_BOUND), eq(reg, 0)),
+                And(lt(reg, _SIGN_BOUND), ne(reg, 0)))
+    raise VcGenError(f"unknown branch {name!r}")  # pragma: no cover
+
+
+class _VcComputation:
+    """Backward VC computation with memoization and invariant cut points."""
+
+    def __init__(self, program: Program, postcondition: Formula,
+                 invariants: Mapping[int, Formula]) -> None:
+        self.program = program
+        self.postcondition = postcondition
+        self.invariants = dict(invariants)
+        self._memo: dict[int, Formula] = {}
+
+    def check_invariant_coverage(self) -> None:
+        """Every backward branch target must have an invariant; this is what
+        guarantees the backward recursion terminates (all cycles pass
+        through a cut point)."""
+        for pc, instruction in enumerate(self.program):
+            if isinstance(instruction, (Branch, Br)):
+                target = branch_target(pc, instruction)
+                if target <= pc and target not in self.invariants:
+                    raise VcGenError(
+                        f"backward branch at pc={pc} to pc={target} has no "
+                        f"loop invariant; the PCC binary must map every "
+                        f"backward-branch target to an invariant")
+        for pc in self.invariants:
+            if not 0 <= pc < len(self.program):
+                raise VcGenError(
+                    f"invariant annotates pc={pc}, outside the program")
+
+    def successor_vc(self, pc: int) -> Formula:
+        """VC used when control *arrives* at ``pc``: the invariant if ``pc``
+        is a cut point, else the computed VC."""
+        invariant = self.invariants.get(pc)
+        if invariant is not None:
+            return invariant
+        return self.vc(pc)
+
+    def vc(self, pc: int) -> Formula:
+        """The Figure 4 rules, memoized per pc."""
+        cached = self._memo.get(pc)
+        if cached is not None:
+            return cached
+        if not 0 <= pc < len(self.program):
+            raise VcGenError(f"pc {pc} outside program during VC generation")
+        instruction = self.program[pc]
+        result = self._vc_of(pc, instruction)
+        self._memo[pc] = result
+        return result
+
+    def _vc_of(self, pc: int, instruction: Instruction) -> Formula:
+        if isinstance(instruction, Ret):
+            return self.postcondition
+
+        if isinstance(instruction, Operate):
+            op = OPERATE_NAMES[instruction.name]
+            value = App(op, (register_term(instruction.ra.index),
+                             _rb_term(instruction.rb)))
+            following = self.successor_vc(pc + 1)
+            return subst_formula(following,
+                                 {f"r{instruction.rc.index}": value})
+
+        if isinstance(instruction, Lda):
+            value = add64(register_term(instruction.rs.index),
+                          _disp_term(instruction.disp))
+            following = self.successor_vc(pc + 1)
+            return subst_formula(following,
+                                 {f"r{instruction.rd.index}": value})
+
+        if isinstance(instruction, Ldah):
+            value = add64(register_term(instruction.rs.index),
+                          Int((instruction.disp << 16) % WORD_MOD))
+            following = self.successor_vc(pc + 1)
+            return subst_formula(following,
+                                 {f"r{instruction.rd.index}": value})
+
+        if isinstance(instruction, Ldq):
+            address = _address_term(instruction.rs.index, instruction.disp)
+            loaded = sel(Var(MEMORY_VAR), address)
+            following = self.successor_vc(pc + 1)
+            after = subst_formula(following,
+                                  {f"r{instruction.rd.index}": loaded})
+            return And(rd(address), after)
+
+        if isinstance(instruction, Stq):
+            address = _address_term(instruction.rd.index, instruction.disp)
+            new_memory = upd(Var(MEMORY_VAR), address,
+                             register_term(instruction.rs.index))
+            following = self.successor_vc(pc + 1)
+            after = subst_formula(following, {MEMORY_VAR: new_memory})
+            return And(wr(address), after)
+
+        if isinstance(instruction, Br):
+            return self.successor_vc(branch_target(pc, instruction))
+
+        if isinstance(instruction, Branch):
+            taken_hyp, fall_hyp = _branch_hypotheses(instruction)
+            taken_vc = self.successor_vc(branch_target(pc, instruction))
+            fall_vc = self.successor_vc(pc + 1)
+            return And(Implies(taken_hyp, taken_vc),
+                       Implies(fall_hyp, fall_vc))
+
+        raise VcGenError(f"no VC rule for {instruction!r}")  # pragma: no cover
+
+
+def _close(formula: Formula) -> Formula:
+    """Quantify over every machine-state variable: ALL r0..r10, rm."""
+    closed = formula
+    for name in (MEMORY_VAR,) + tuple(reversed(REGISTER_VARS)):
+        closed = Forall(name, closed)
+    return closed
+
+
+def compute_vc(program: Program, postcondition: Formula,
+               invariants: Mapping[int, Formula] | None = None,
+               pc: int = 0) -> Formula:
+    """The raw (unquantified, unsimplified) VC of ``program`` from ``pc``."""
+    computation = _VcComputation(program, postcondition, invariants or {})
+    computation.check_invariant_coverage()
+    return computation.vc(pc)
+
+
+def safety_predicate(program: Program, precondition: Formula,
+                     postcondition: Formula,
+                     invariants: Mapping[int, Formula] | None = None,
+                     simplify: bool = True) -> Formula:
+    """The safety predicate ``SP(Pi, Pre, Post)`` of §2.2.
+
+    Without loops this is ``ALL regs. Pre => VC_0``.  With invariants it is
+    the conjunction of that entry obligation with one obligation
+    ``ALL regs. Inv_c => VC(fragment at c)`` per cut point, all closed over
+    the machine-state variables.  Determinism matters: producer and
+    consumer must compute the identical formula, so the obligations are
+    ordered by pc and the simplifier is the shared deterministic one.
+    """
+    validate_program(program)
+    invariants = dict(invariants or {})
+    computation = _VcComputation(program, postcondition, invariants)
+    computation.check_invariant_coverage()
+
+    obligations: list[Formula] = []
+    entry = Implies(precondition, computation.vc(0))
+    obligations.append(_close(entry))
+    for cut_pc in sorted(invariants):
+        body = computation.vc(cut_pc)
+        obligations.append(_close(Implies(invariants[cut_pc], body)))
+
+    predicate: Formula = obligations[0]
+    for obligation in obligations[1:]:
+        predicate = And(predicate, obligation)
+    if simplify:
+        predicate = simplify_formula(predicate)
+    return predicate

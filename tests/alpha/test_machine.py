@@ -1,0 +1,181 @@
+"""Concrete and abstract machine tests (Figure 3 semantics)."""
+
+import struct
+
+import pytest
+
+from repro.alpha.abstract import AbstractMachine
+from repro.alpha.machine import Machine, Memory
+from repro.alpha.parser import parse_program
+from repro.errors import MachineError, SafetyViolation
+from repro.perf.cost import ALPHA_175
+
+
+def _run(source, registers=None, memory=None, **kwargs):
+    memory = memory or Memory()
+    machine = Machine(parse_program(source), memory, registers or {},
+                      **kwargs)
+    return machine.run()
+
+
+class TestMemory:
+    def test_load_store(self):
+        memory = Memory()
+        memory.map_region(0x1000, bytes(16), writable=True, name="buf")
+        memory.store_quad(0x1008, 0xDEADBEEF)
+        assert memory.load_quad(0x1008) == 0xDEADBEEF
+        assert memory.load_quad(0x1000) == 0
+
+    def test_little_endian(self):
+        memory = Memory()
+        memory.map_region(0, struct.pack("<Q", 0x0102030405060708),
+                          name="buf")
+        assert memory.load_quad(0) == 0x0102030405060708
+
+    def test_unaligned_traps(self):
+        memory = Memory()
+        memory.map_region(0, bytes(16), writable=True, name="buf")
+        with pytest.raises(MachineError):
+            memory.load_quad(4)
+        with pytest.raises(MachineError):
+            memory.store_quad(4, 0)
+
+    def test_unmapped_traps(self):
+        with pytest.raises(MachineError):
+            Memory().load_quad(0x2000)
+
+    def test_read_only_region(self):
+        memory = Memory()
+        memory.map_region(0, bytes(8), writable=False, name="ro")
+        with pytest.raises(MachineError):
+            memory.store_quad(0, 1)
+
+    def test_overlap_rejected(self):
+        memory = Memory()
+        memory.map_region(0, bytes(16), name="a")
+        with pytest.raises(MachineError):
+            memory.map_region(8, bytes(16), name="b")
+
+
+class TestExecution:
+    def test_operate_semantics(self):
+        result = _run("ADDQ r1, 2, r0\nRET", {1: 40})
+        assert result.value == 42
+
+    def test_wraparound(self):
+        result = _run("ADDQ r1, 1, r0\nRET", {1: (1 << 64) - 1})
+        assert result.value == 0
+
+    def test_extbl(self):
+        result = _run("EXTBL r1, 3, r0\nRET", {1: 0x11223344AABBCCDD})
+        assert result.value == 0xAA
+
+    def test_branch_taken_and_not_taken(self):
+        source = """
+            BEQ r1, yes
+            ADDQ r0, 1, r0
+        yes: RET
+        """
+        assert _run(source, {1: 0}).value == 0
+        assert _run(source, {1: 5}).value == 1
+
+    def test_signed_branches(self):
+        source = "BLT r1, neg\nADDQ r0, 1, r0\nneg: RET"
+        assert _run(source, {1: 1 << 63}).value == 0   # negative: taken
+        assert _run(source, {1: 5}).value == 1          # positive: not
+
+    def test_bgt_ble(self):
+        source = "BGT r1, pos\nADDQ r0, 1, r0\npos: RET"
+        assert _run(source, {1: 5}).value == 0
+        assert _run(source, {1: 0}).value == 1
+        assert _run(source, {1: 1 << 63}).value == 1
+
+    def test_lda_constant_synthesis(self):
+        source = """
+            SUBQ r5, r5, r5
+            LDAH r5, 206(r5)
+            LDA  r5, 640(r5)
+            ADDQ r5, 0, r0
+            RET
+        """
+        assert _run(source).value == 0xCE0280
+
+    def test_load_store_program(self):
+        memory = Memory()
+        memory.map_region(0x1000, struct.pack("<QQ", 5, 41), writable=True,
+                          name="table")
+        result = _run("""
+            LDQ  r2, 0(r1)
+            ADDQ r2, 1, r2
+            STQ  r2, 8(r1)
+            LDQ  r0, 8(r1)
+            RET
+        """, {1: 0x1000}, memory)
+        assert result.value == 6
+
+    def test_runaway_detection(self):
+        # a one-instruction infinite loop (backward branch to itself)
+        from repro.alpha.isa import Br, Ret
+        program = (Br(-1), Ret())
+        machine = Machine(program, Memory(), max_steps=100)
+        with pytest.raises(MachineError):
+            machine.run()
+
+    def test_instruction_and_cycle_counting(self):
+        result = _run("ADDQ r0, 1, r0\nADDQ r0, 1, r0\nRET",
+                      cost_model=ALPHA_175)
+        assert result.instructions == 3
+        assert result.cycles == 1 + 1 + 2  # two ALU ops + RET
+
+
+class TestAbstractMachine:
+    """The Figure 3 machine blocks (raises) on failed safety checks."""
+
+    def _machine(self, source, can_read, can_write, registers=None,
+                 memory=None):
+        memory = memory or Memory()
+        return AbstractMachine(parse_program(source), memory, can_read,
+                               can_write, registers or {})
+
+    def test_blocks_on_unreadable_load(self):
+        memory = Memory()
+        memory.map_region(0, bytes(64), name="buf")
+        machine = self._machine("LDQ r0, 0(r1)\nRET",
+                                can_read=lambda a: False,
+                                can_write=lambda a: False,
+                                registers={1: 0}, memory=memory)
+        with pytest.raises(SafetyViolation) as info:
+            machine.run()
+        assert info.value.pc == 0
+
+    def test_blocks_on_unwritable_store(self):
+        memory = Memory()
+        memory.map_region(0, bytes(64), writable=True, name="buf")
+        machine = self._machine("STQ r0, 8(r1)\nRET",
+                                can_read=lambda a: True,
+                                can_write=lambda a: False,
+                                registers={1: 0}, memory=memory)
+        with pytest.raises(SafetyViolation):
+            machine.run()
+
+    def test_blocks_on_unaligned_even_if_policy_allows(self):
+        memory = Memory()
+        memory.map_region(0, bytes(64), name="buf")
+        machine = self._machine("LDQ r0, 4(r1)\nRET",
+                                can_read=lambda a: True,
+                                can_write=lambda a: True,
+                                registers={1: 0}, memory=memory)
+        with pytest.raises(SafetyViolation):
+            machine.run()
+
+    def test_agrees_with_concrete_machine_when_safe(self):
+        memory1 = Memory()
+        memory1.map_region(0, struct.pack("<Q", 7), name="buf")
+        memory2 = Memory()
+        memory2.map_region(0, struct.pack("<Q", 7), name="buf")
+        source = "LDQ r0, 0(r1)\nADDQ r0, 1, r0\nRET"
+        concrete = Machine(parse_program(source), memory1, {1: 0}).run()
+        abstract = AbstractMachine(parse_program(source), memory2,
+                                   lambda a: True, lambda a: False,
+                                   {1: 0}).run()
+        assert concrete.value == abstract.value == 8

@@ -1,0 +1,129 @@
+"""Unit tests for the assembly front end."""
+
+import pytest
+
+from repro.alpha.isa import (
+    Br,
+    Branch,
+    Lda,
+    Ldah,
+    Ldq,
+    Lit,
+    Operate,
+    Reg,
+    Ret,
+    Stq,
+    branch_target,
+)
+from repro.alpha.parser import format_program, parse_program
+from repro.errors import AssemblyError
+
+
+class TestParsing:
+    def test_figure5_program(self):
+        program = parse_program("""
+            ADDQ r0, 8, r1
+            LDQ  r0, 8(r0)
+            LDQ  r2, -8(r1)
+            ADDQ r0, 1, r0
+            BEQ  r2, L1
+            STQ  r0, 0(r1)
+        L1: RET
+        """)
+        assert len(program) == 7
+        assert program[0] == Operate("ADDQ", Reg(0), Lit(8), Reg(1))
+        assert program[1] == Ldq(Reg(0), 8, Reg(0))
+        assert program[2] == Ldq(Reg(2), -8, Reg(1))
+        assert program[4] == Branch("BEQ", Reg(2), 1)
+        assert program[5] == Stq(Reg(0), 0, Reg(1))
+        assert program[6] == Ret()
+
+    def test_comment_styles(self):
+        program = parse_program("""
+            ADDQ r0, 1, r0   % percent
+            ADDQ r0, 1, r0   ; semicolon
+            ADDQ r0, 1, r0   # hash
+            RET
+        """)
+        assert len(program) == 4
+
+    def test_or_alias_for_bis(self):
+        program = parse_program("OR r1, r2, r3\nRET")
+        assert program[0] == Operate("BIS", Reg(1), Reg(2), Reg(3))
+
+    def test_register_operand(self):
+        program = parse_program("ADDQ r1, r2, r3\nRET")
+        assert program[0].rb == Reg(2)
+
+    def test_explicit_offsets(self):
+        program = parse_program("BEQ r0, +1\nRET\nRET")
+        assert branch_target(0, program[0]) == 2
+
+    def test_lda_ldah(self):
+        program = parse_program("LDA r1, -2048(r2)\nLDAH r3, 206(r4)\nRET")
+        assert program[0] == Lda(Reg(1), -2048, Reg(2))
+        assert program[1] == Ldah(Reg(3), 206, Reg(4))
+
+    def test_unconditional_branch(self):
+        program = parse_program("BR end\nADDQ r0, 1, r0\nend: RET")
+        assert program[0] == Br(1)
+
+
+class TestErrors:
+    def test_unknown_instruction(self):
+        with pytest.raises(AssemblyError):
+            parse_program("FNORD r1, r2, r3\nRET")
+
+    def test_undefined_label(self):
+        with pytest.raises(AssemblyError):
+            parse_program("BEQ r0, nowhere\nRET")
+
+    def test_duplicate_label(self):
+        with pytest.raises(AssemblyError):
+            parse_program("a: RET\na: RET")
+
+    def test_register_out_of_range(self):
+        with pytest.raises(AssemblyError):
+            parse_program("ADDQ r11, 0, r0\nRET")
+
+    def test_literal_out_of_range(self):
+        with pytest.raises(AssemblyError):
+            parse_program("ADDQ r0, 256, r0\nRET")
+
+    def test_displacement_out_of_range(self):
+        with pytest.raises(AssemblyError):
+            parse_program("LDQ r0, 40000(r1)\nRET")
+
+    def test_fall_off_end(self):
+        with pytest.raises(AssemblyError):
+            parse_program("ADDQ r0, 1, r0")
+
+    def test_trailing_conditional_branch(self):
+        with pytest.raises(AssemblyError):
+            parse_program("L: ADDQ r0, 1, r0\nBEQ r0, L")
+
+    def test_branch_outside_program(self):
+        with pytest.raises(AssemblyError):
+            parse_program("BEQ r0, +5\nRET")
+
+    def test_empty_program(self):
+        with pytest.raises(AssemblyError):
+            parse_program("   % nothing here\n")
+
+
+class TestRoundTrip:
+    def test_format_parse_round_trip(self):
+        source = """
+            LDQ    r4, 8(r1)
+            EXTWL  r4, 4, r5
+            CMPEQ  r5, 8, r0
+            BEQ    r0, out
+            LDQ    r4, 24(r1)
+            SUBQ   r5, r5, r5
+            LDAH   r5, 206(r5)
+            LDA    r5, 640(r5)
+            CMPEQ  r4, r5, r0
+        out: RET
+        """
+        program = parse_program(source)
+        assert parse_program(format_program(program)) == program

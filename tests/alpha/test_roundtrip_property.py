@@ -1,0 +1,78 @@
+"""Property round-trips over random valid programs:
+
+    parse(format(p)) == p          (assembler/disassembler)
+    decode(encode(p)) == p         (binary encoding)
+
+and cross-composition: decode(encode(parse(format(p)))) == p.
+"""
+
+from hypothesis import given, strategies as st
+
+from repro.alpha.encoding import decode_program, encode_program
+from repro.alpha.isa import (
+    BRANCH_NAMES,
+    Br,
+    Branch,
+    Lda,
+    Ldah,
+    Ldq,
+    Lit,
+    NUM_REGS,
+    OPERATE_NAMES,
+    Operate,
+    Reg,
+    Ret,
+    Stq,
+)
+from repro.alpha.parser import format_program, parse_program
+
+_regs = st.integers(min_value=0, max_value=NUM_REGS - 1).map(Reg)
+_lits = st.integers(min_value=0, max_value=255).map(Lit)
+_disp = st.integers(min_value=-(1 << 15), max_value=(1 << 15) - 1)
+
+_plain = st.one_of(
+    st.builds(Operate, st.sampled_from(sorted(OPERATE_NAMES)), _regs,
+              st.one_of(_regs, _lits), _regs),
+    st.builds(Lda, _regs, _disp, _regs),
+    st.builds(Ldah, _regs, _disp, _regs),
+    st.builds(Ldq, _regs, _disp, _regs),
+    st.builds(Stq, _regs, _disp, _regs),
+)
+
+
+@st.composite
+def programs(draw):
+    """A random valid program: plain instructions with occasional forward
+    branches, terminated by RET."""
+    body = draw(st.lists(_plain, min_size=0, max_size=12))
+    program = list(body)
+    insert_positions = draw(st.lists(
+        st.integers(min_value=0, max_value=max(len(program) - 1, 0)),
+        max_size=3))
+    for position in sorted(set(insert_positions), reverse=True):
+        remaining = len(program) - position
+        offset = draw(st.integers(min_value=0, max_value=remaining))
+        name = draw(st.sampled_from(BRANCH_NAMES + ("BR",)))
+        if name == "BR":
+            program.insert(position, Br(offset))
+        else:
+            program.insert(position,
+                           Branch(name, draw(_regs), offset))
+    program.append(Ret())
+    return tuple(program)
+
+
+class TestRoundTrips:
+    @given(programs())
+    def test_assembler_round_trip(self, program):
+        assert parse_program(format_program(program)) == program
+
+    @given(programs())
+    def test_binary_round_trip(self, program):
+        assert decode_program(encode_program(program)) == program
+
+    @given(programs())
+    def test_cross_composition(self, program):
+        text = format_program(program)
+        code = encode_program(parse_program(text))
+        assert decode_program(code) == program

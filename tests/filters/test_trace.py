@@ -1,0 +1,64 @@
+"""Trace generator: reproducibility and the documented protocol mix."""
+
+from repro.filters.packets import (
+    ETHERTYPE_ARP,
+    ETHERTYPE_IP,
+    MAX_FRAME,
+    MIN_FRAME,
+    PROTO_TCP,
+    ethertype_of,
+    ip_protocol,
+    tcp_destination_port,
+)
+from repro.filters.trace import TARGET_PORT, TraceConfig, generate_trace
+
+
+class TestReproducibility:
+    def test_same_seed_same_trace(self):
+        config = TraceConfig(packets=300, seed=99)
+        assert generate_trace(config) == generate_trace(config)
+
+    def test_different_seed_different_trace(self):
+        a = generate_trace(TraceConfig(packets=300, seed=1))
+        b = generate_trace(TraceConfig(packets=300, seed=2))
+        assert a != b
+
+
+class TestMix:
+    def test_frame_sizes_legal(self):
+        for frame in generate_trace(TraceConfig(packets=500)):
+            assert MIN_FRAME <= len(frame) <= MAX_FRAME
+
+    def test_protocol_fractions_roughly_configured(self):
+        config = TraceConfig(packets=4000, seed=5)
+        trace = generate_trace(config)
+        ip = sum(ethertype_of(f) == ETHERTYPE_IP for f in trace)
+        arp = sum(ethertype_of(f) == ETHERTYPE_ARP for f in trace)
+        assert abs(ip / len(trace) - config.ip_fraction) < 0.05
+        assert abs(arp / len(trace) - config.arp_fraction) < 0.03
+
+    def test_tcp_and_target_port_present(self):
+        trace = generate_trace(TraceConfig(packets=3000, seed=6))
+        tcp = [f for f in trace
+               if ethertype_of(f) == ETHERTYPE_IP
+               and ip_protocol(f) == PROTO_TCP]
+        assert len(tcp) > 1000
+        to_target = sum(tcp_destination_port(f) == TARGET_PORT
+                        for f in tcp)
+        assert 0.05 < to_target / len(tcp) < 0.25
+
+    def test_options_produce_longer_headers(self):
+        from repro.filters.packets import ip_header_length
+        trace = generate_trace(TraceConfig(packets=3000, seed=8))
+        ip_frames = [f for f in trace
+                     if ethertype_of(f) == ETHERTYPE_IP]
+        with_options = [f for f in ip_frames
+                        if ip_header_length(f) > 20]
+        assert with_options, "some IP packets must carry options"
+        assert all(ip_header_length(f) % 4 == 0 for f in with_options)
+
+    def test_custom_mix(self):
+        config = TraceConfig(packets=600, seed=3, ip_fraction=0.0,
+                             arp_fraction=1.0)
+        trace = generate_trace(config)
+        assert all(ethertype_of(f) == ETHERTYPE_ARP for f in trace)

@@ -1,0 +1,113 @@
+"""Adequacy of the FOL-in-LF encoding (the property §2.3 leans on:
+"the validity of a proof is implied by the well-typedness of the proof
+representation" only makes sense if the encoding is faithful).
+
+Property-based: for random formulas,
+
+* the encoding has LF type ``form`` (terms: ``tm``),
+* decoding inverts encoding up to canonical bound names,
+* the wire format round-trips the encoding exactly.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.lf.binary import deserialize_lf, serialize_lf
+from repro.lf.encode import (
+    decode_logic_formula,
+    decode_logic_term,
+    encode_formula,
+    encode_term,
+)
+from repro.lf.signature import SIGNATURE
+from repro.lf.syntax import LfConst
+from repro.lf.typecheck import infer_type
+from repro.logic.formulas import And, Atom, Forall, Implies, Or, eq
+from repro.logic.terms import App, Int, Var
+
+_REGISTERS = [Var(f"r{i}") for i in range(4)]
+
+_term_leaves = st.one_of(
+    st.integers(min_value=0, max_value=1 << 64).map(Int),
+    st.sampled_from(_REGISTERS),
+)
+
+
+def _term_branches(children):
+    return st.builds(
+        lambda op, a, b: App(op, (a, b)),
+        st.sampled_from(["add64", "sub64", "and64", "or64", "srl64",
+                         "cmpult", "extbl", "add", "mul"]),
+        children, children)
+
+
+terms = st.recursive(_term_leaves, _term_branches, max_leaves=8)
+
+atoms = st.builds(
+    lambda pred, a, b: Atom(pred, (a, b)),
+    st.sampled_from(["eq", "ne", "lt", "le", "gt", "ge"]),
+    terms, terms)
+
+unary_atoms = st.builds(lambda pred, a: Atom(pred, (a,)),
+                        st.sampled_from(["rd", "wr"]), terms)
+
+
+def _formula_branches(children):
+    return st.one_of(
+        st.builds(And, children, children),
+        st.builds(Or, children, children),
+        st.builds(Implies, children, children),
+    )
+
+
+formulas = st.recursive(st.one_of(atoms, unary_atoms),
+                        _formula_branches, max_leaves=6)
+
+
+class TestTermAdequacy:
+    @settings(max_examples=150)
+    @given(terms)
+    def test_encoded_terms_have_type_tm(self, term):
+        encoded = encode_term(term, {}, 0)
+        assert infer_type(encoded, SIGNATURE) == LfConst("tm")
+
+    @settings(max_examples=150)
+    @given(terms)
+    def test_decode_inverts_encode(self, term):
+        assert decode_logic_term(encode_term(term, {}, 0)) == term
+
+
+class TestFormulaAdequacy:
+    @settings(max_examples=100)
+    @given(formulas)
+    def test_encoded_formulas_have_type_form(self, formula):
+        encoded = encode_formula(formula, {}, 0)
+        assert infer_type(encoded, SIGNATURE) == LfConst("form")
+
+    @settings(max_examples=100)
+    @given(formulas)
+    def test_decode_inverts_encode(self, formula):
+        encoded = encode_formula(formula, {}, 0)
+        assert decode_logic_formula(encoded) == formula
+
+    @settings(max_examples=100)
+    @given(formulas)
+    def test_wire_round_trip(self, formula):
+        encoded = encode_formula(formula, {}, 0)
+        table, stream = serialize_lf(encoded)
+        assert deserialize_lf(table, stream) == encoded
+
+    @settings(max_examples=60)
+    @given(formulas)
+    def test_quantified_formulas_type_check(self, body):
+        quantified = Forall("q", Implies(eq(Var("q"), 0), body))
+        encoded = encode_formula(quantified, {}, 0)
+        assert infer_type(encoded, SIGNATURE) == LfConst("form")
+
+    @settings(max_examples=60)
+    @given(formulas)
+    def test_injective_on_samples(self, formula):
+        """Different formulas encode differently (sound comparison of
+        pf(SP) against the proof's type depends on it)."""
+        other = And(formula, formula)
+        assert encode_formula(formula, {}, 0) != \
+            encode_formula(other, {}, 0)

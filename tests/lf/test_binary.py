@@ -1,0 +1,117 @@
+"""Wire-format tests: round trips, sharing, and adversarial byte streams."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import LfError
+from repro.lf.binary import deserialize_lf, serialize_lf
+from repro.lf.syntax import (
+    LfApp,
+    LfConst,
+    LfInt,
+    LfLam,
+    LfPi,
+    LfVar,
+    lf_app,
+)
+
+_leaves = st.one_of(
+    st.text(alphabet="abcdefg_", min_size=1, max_size=6).map(LfConst),
+    st.integers(min_value=0, max_value=5).map(LfVar),
+    st.integers(min_value=0, max_value=1 << 70).map(LfInt),
+)
+
+
+def _branches(children):
+    return st.one_of(
+        st.builds(LfApp, children, children),
+        st.builds(lambda t, b: LfLam(t, b), children, children),
+        st.builds(lambda d, c: LfPi(d, c), children, children),
+    )
+
+
+lf_terms = st.recursive(_leaves, _branches, max_leaves=25)
+
+
+class TestRoundTrip:
+    @given(lf_terms)
+    def test_round_trip(self, term):
+        table, stream = serialize_lf(term)
+        assert deserialize_lf(table, stream) == term
+
+    @given(lf_terms)
+    def test_round_trip_unshared(self, term):
+        table, stream = serialize_lf(term, share=False)
+        assert deserialize_lf(table, stream) == term
+
+    def test_sharing_shrinks_output(self):
+        big = lf_app(LfConst("f"), LfInt(12345), LfInt(67890))
+        for __ in range(6):
+            big = LfApp(big, big)
+        shared_table, shared_stream = serialize_lf(big)
+        plain_table, plain_stream = serialize_lf(big, share=False)
+        assert len(shared_stream) < len(plain_stream) / 4
+
+    def test_shared_nodes_decode_to_shared_objects(self):
+        """The type checker's memoization depends on decoded DAGs sharing
+        Python objects."""
+        leaf = lf_app(LfConst("f"), LfInt(1))
+        term = LfApp(leaf, leaf)
+        table, stream = serialize_lf(term)
+        decoded = deserialize_lf(table, stream)
+        assert decoded.fn is decoded.arg
+
+    def test_symbol_table_deduplicates_names(self):
+        term = lf_app(LfConst("same"), LfConst("same"), LfConst("same"))
+        table, __ = serialize_lf(term)
+        assert table.count(b"same") == 1
+
+
+class TestAdversarialBytes:
+    def test_empty_stream(self):
+        with pytest.raises(LfError):
+            deserialize_lf(b"\x00", b"")
+
+    def test_truncated_stream(self):
+        table, stream = serialize_lf(lf_app(LfConst("f"), LfInt(1)))
+        with pytest.raises(LfError):
+            deserialize_lf(table, stream[:-1])
+
+    def test_trailing_garbage(self):
+        table, stream = serialize_lf(LfInt(1))
+        with pytest.raises(LfError):
+            deserialize_lf(table, stream + b"\x00")
+
+    def test_unknown_tag(self):
+        table, __ = serialize_lf(LfInt(1))
+        with pytest.raises(LfError):
+            deserialize_lf(table, b"\xff")
+
+    def test_symbol_index_out_of_range(self):
+        table, __ = serialize_lf(LfConst("a"))
+        with pytest.raises(LfError):
+            deserialize_lf(table, bytes([0x01, 0x09]))
+
+    def test_backreference_out_of_range(self):
+        table, __ = serialize_lf(LfInt(1))
+        with pytest.raises(LfError):
+            deserialize_lf(table, bytes([0x07, 0x00]))
+
+    def test_bad_utf8_symbol(self):
+        with pytest.raises(LfError):
+            deserialize_lf(bytes([1, 2, 0xFF, 0xFE]), b"")
+
+    def test_node_budget(self):
+        table, stream = serialize_lf(
+            lf_app(LfConst("f"), LfInt(1), LfInt(2), LfInt(3)))
+        with pytest.raises(LfError):
+            deserialize_lf(table, stream, max_nodes=2)
+
+    @given(st.binary(max_size=60))
+    def test_random_bytes_never_crash(self, blob):
+        """Arbitrary bytes either decode or raise LfError — no other
+        exception may escape to the consumer."""
+        try:
+            deserialize_lf(blob, blob)
+        except LfError:
+            pass

@@ -1,0 +1,157 @@
+"""Formula/term/proof encoding into LF, and the decoding side conditions
+rely on.  The key invariants:
+
+* every Delta-checked proof encodes to a *well-typed* LF object whose type
+  is ``pf(encoding of the goal)`` — validated here for representative
+  proofs of every rule family;
+* formula decoding is a left inverse of encoding up to canonical bound
+  names (what invariant canonicalization depends on).
+"""
+
+import pytest
+
+from repro.errors import LfError
+from repro.lf.encode import (
+    decode_logic_formula,
+    decode_logic_term,
+    encode_formula,
+    encode_proof,
+    encode_term,
+)
+from repro.lf.signature import SIGNATURE
+from repro.lf.syntax import LfApp, LfConst, LfInt, LfLam, LfVar, lf_app
+from repro.lf.typecheck import check_proof_term
+from repro.logic.formulas import (
+    And,
+    Forall,
+    Implies,
+    Truth,
+    eq,
+    ge,
+    le,
+    lt,
+    ne,
+    rd,
+)
+from repro.logic.terms import App, Int, Var, add64, and64, mod64, sel, srl64
+from repro.proof.checker import check_proof
+from repro.proof.proofs import Proof
+
+
+def _validate(proof, goal):
+    """Check with Delta, encode, check with LF — both must accept."""
+    check_proof(proof, goal)
+    lf_proof = encode_proof(proof, goal)
+    expected = LfApp(LfConst("pf"), encode_formula(goal, {}, 0))
+    check_proof_term(lf_proof, expected, SIGNATURE)
+
+
+class TestTermEncoding:
+    def test_integers(self):
+        assert encode_term(Int(7), {}, 0) == LfInt(7)
+
+    def test_operators(self):
+        term = add64(Int(1), Int(2))
+        assert encode_term(term, {}, 0) == \
+            lf_app(LfConst("add64"), LfInt(1), LfInt(2))
+
+    def test_bound_variables(self):
+        assert encode_term(Var("x"), {"x": 0}, 1) == LfVar(0)
+        assert encode_term(Var("x"), {"x": 0}, 3) == LfVar(2)
+
+    def test_free_registers_become_constants(self):
+        assert encode_term(Var("r4"), {}, 0) == LfConst("r4")
+
+    def test_unknown_free_variable_rejected(self):
+        with pytest.raises(LfError):
+            encode_term(Var("mystery"), {}, 0)
+
+    def test_term_decode_round_trip(self):
+        term = and64(srl64(sel(Var("rm"), add64(Var("r1"), 8)), 46), 60)
+        encoded = encode_term(term, {}, 0)
+        assert decode_logic_term(encoded) == term
+
+
+class TestFormulaEncoding:
+    def test_quantifier_sorts(self):
+        individual = Forall("i", ge(Var("i"), 0))
+        memory = Forall("rm", eq(sel(Var("rm"), 0), 0))
+        enc_i = encode_formula(individual, {}, 0)
+        enc_m = encode_formula(memory, {}, 0)
+        assert enc_i.fn == LfConst("all")
+        assert enc_m.fn == LfConst("allm")
+        assert enc_i.arg.ty == LfConst("tm")
+        assert enc_m.arg.ty == LfConst("mem")
+
+    def test_decode_canonicalizes_bound_names(self):
+        formula = Forall("i", Implies(lt(Var("i"), Var("r2")),
+                                      rd(add64(Var("r1"), Var("i")))))
+        encoded = encode_formula(formula, {}, 0)
+        decoded = decode_logic_formula(encoded)
+        assert isinstance(decoded, Forall)
+        assert decoded.var == "v0"
+        # decode is idempotent through another round trip
+        again = decode_logic_formula(encode_formula(decoded, {}, 0))
+        assert again == decoded
+
+    def test_decode_rejects_junk(self):
+        with pytest.raises(LfError):
+            decode_logic_formula(LfInt(3))
+
+
+class TestProofEncoding:
+    def test_propositional_families(self):
+        goal = Implies(eq(Var("r0"), 0),
+                       And(Truth(), eq(Var("r0"), 0)))
+        proof = Proof("impi", ("h",), (
+            Proof("andi", (), (Proof("truei"), Proof("hyp", ("h",)))),))
+        _validate(proof, goal)
+
+    def test_quantifier_families(self):
+        goal = Forall("x", Implies(eq(Var("x"), 1), eq(Var("x"), 1)))
+        proof = Proof("alli", ("x",), (
+            Proof("impi", ("h",), (Proof("hyp", ("h",)),)),))
+        _validate(proof, goal)
+
+    def test_memory_quantifier(self):
+        goal = Forall("rm", Implies(ne(sel(Var("rm"), 8), 0),
+                                    ne(sel(Var("rm"), 8), 0)))
+        proof = Proof("alli", ("rm",), (
+            Proof("impi", ("h",), (Proof("hyp", ("h",)),)),))
+        _validate(proof, goal)
+
+    def test_equality_families(self):
+        a = add64(Var("r1"), 8)
+        goal = Implies(eq(mod64(a), a), eq(mod64(a), a))
+        proof = Proof("impi", ("h",), (Proof("hyp", ("h",)),))
+        _validate(proof, goal)
+        # eqsub through a template
+        goal2 = Implies(eq(Var("r1"), Var("r2")),
+                        Implies(rd(Var("r1")), rd(Var("r2"))))
+        proof2 = Proof("impi", ("e",), (
+            Proof("impi", ("r",), (
+                Proof("eqsub", (rd(Var("?h")), "?h", Var("r1"), Var("r2")),
+                      (Proof("hyp", ("e",)), Proof("hyp", ("r",)))),)),))
+        _validate(proof2, goal2)
+
+    def test_arithmetic_families(self):
+        term = add64(Var("r1"), Var("r2"))
+        _validate(Proof("mod_word"), eq(mod64(term), term))
+        _validate(Proof("arith_eval"), lt(3, 4))
+        _validate(Proof("word_ge0"), ge(term, 0))
+        masked = and64(and64(Var("r1"), Int(248)), Int(7))
+        _validate(Proof("and_mask_disjoint"), eq(masked, 0))
+
+    def test_linarith_encoding(self):
+        premises = (le(Var("r1"), 56), ge(Var("r2"), 64))
+        goal = Implies(premises[0], Implies(premises[1],
+                                            lt(Var("r1"), Var("r2"))))
+        proof = Proof("impi", ("a",), (
+            Proof("impi", ("b",), (
+                Proof("linarith", premises,
+                      (Proof("hyp", ("a",)), Proof("hyp", ("b",)))),)),))
+        _validate(proof, goal)
+
+    def test_invalid_proof_rejected_by_encoder(self):
+        with pytest.raises(LfError):
+            encode_proof(Proof("truei"), eq(1, 2))

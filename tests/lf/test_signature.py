@@ -1,0 +1,76 @@
+"""The LF signature is itself a formal object: every declared type must be
+well-formed (a type or a kind) in the signature built so far.  This is the
+consumer's own sanity check on its published policy logic."""
+
+import pytest
+
+from repro.lf.signature import SIGNATURE
+from repro.lf.syntax import KIND, LfConst, LfPi, TYPE, whnf
+from repro.lf.typecheck import infer_type
+from repro.proof.rules import RULES
+
+
+class TestWellFormedness:
+    def test_every_declaration_is_a_type_or_kind(self):
+        for name, entry in SIGNATURE.entries.items():
+            sort = whnf(infer_type(entry.ty, SIGNATURE))
+            assert sort in (TYPE, KIND), f"{name} has malformed type"
+
+    def test_core_classes_present(self):
+        for name in ("tm", "mem", "form", "pf", "true", "false", "and",
+                     "or", "imp", "all", "allm", "eq", "rd", "wr"):
+            assert name in SIGNATURE.entries
+
+    def test_every_logic_operator_declared(self):
+        from repro.logic.terms import OPS
+        for op in OPS:
+            assert op in SIGNATURE.entries, f"operator {op} undeclared"
+
+    def test_state_constants_declared(self):
+        for index in range(11):
+            assert f"r{index}" in SIGNATURE.entries
+        assert "rm" in SIGNATURE.entries
+
+    def test_side_condition_arities_positive(self):
+        for name, entry in SIGNATURE.entries.items():
+            if entry.side_condition is not None:
+                assert entry.side_arity > 0, name
+
+    def test_rule_coverage(self):
+        """Every Delta rule has an LF counterpart (ext_bound splits into
+        three width-specific constants; hyp/linarith premises are encoded
+        structurally)."""
+        lf_names = set(SIGNATURE.entries)
+        structural = {"hyp"}  # encoded as LF variables, not constants
+        renamed = {"ext_bound": {"extbl_bound", "extwl_bound",
+                                 "extll_bound"},
+                   "cmp_bool": {"cmpeq_bool", "cmpult_bool",
+                                "cmpule_bool"}}
+        for rule in RULES:
+            if rule in structural:
+                continue
+            expected = renamed.get(rule, {rule})
+            assert expected & lf_names, f"no LF constant for rule {rule}"
+
+    def test_schema_constants_are_guarded(self):
+        """Every axiom schema whose soundness depends on literal values
+        must carry a side condition — forgetting one would let a malicious
+        proof instantiate it unsoundly."""
+        must_be_guarded = (
+            "arith_eval", "mod_word", "norm_mod_eq", "word_ge0",
+            "word_lt_mod", "and_ubound", "and_mask_disjoint", "add_align",
+            "srl_bound", "sll_align", "extbl_bound", "extwl_bound",
+            "extll_bound", "linarith", "or_disjoint", "and_submask",
+            "shift_trunc_le", "sll_lt_of_srl",
+        )
+        for name in must_be_guarded:
+            entry = SIGNATURE.entries[name]
+            assert entry.side_condition is not None, name
+
+
+class TestProofIrrelevantDeclarations:
+    def test_pf_family(self):
+        pf = SIGNATURE.entries["pf"].ty
+        assert isinstance(pf, LfPi)
+        assert pf.dom == LfConst("form")
+        assert pf.cod == TYPE

@@ -1,0 +1,126 @@
+"""Unit tests for logical terms and their evaluation semantics."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import LogicError
+from repro.logic.terms import (
+    App,
+    Int,
+    Var,
+    WORD_MASK,
+    WORD_MOD,
+    add64,
+    and64,
+    cmpeq,
+    cmpule,
+    cmpult,
+    eval_term,
+    extbl,
+    extll,
+    extwl,
+    make_memory,
+    mod64,
+    mul64,
+    or64,
+    sel,
+    sll64,
+    srl64,
+    sub64,
+    term_vars,
+    upd,
+    xor64,
+)
+
+words = st.integers(min_value=0, max_value=WORD_MASK)
+any_ints = st.integers(min_value=-(1 << 80), max_value=1 << 80)
+
+
+class TestConstruction:
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(LogicError):
+            App("frobnicate", (Int(1),))
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(LogicError):
+            App("add64", (Int(1),))
+
+    def test_helpers_coerce_python_ints(self):
+        term = add64(1, 2)
+        assert term.args == (Int(1), Int(2))
+
+    def test_terms_are_hashable_and_comparable(self):
+        assert add64(Var("r0"), 8) == add64(Var("r0"), 8)
+        assert hash(add64(Var("r0"), 8)) == hash(add64(Var("r0"), 8))
+        assert add64(Var("r0"), 8) != add64(Var("r1"), 8)
+
+    def test_term_vars(self):
+        term = add64(Var("r0"), sel(Var("rm"), Var("r1")))
+        assert term_vars(term) == {"r0", "rm", "r1"}
+
+
+class TestEvaluation:
+    def test_unbound_variable(self):
+        with pytest.raises(LogicError):
+            eval_term(Var("x"), {})
+
+    def test_add64_wraps(self):
+        assert eval_term(add64(WORD_MASK, 1), {}) == 0
+
+    def test_sub64_wraps(self):
+        assert eval_term(sub64(0, 1), {}) == WORD_MASK
+
+    def test_shift_counts_use_low_six_bits(self):
+        assert eval_term(sll64(1, 64), {}) == 1
+        assert eval_term(srl64(4, 66), {}) == 1
+
+    def test_extraction_ops(self):
+        word = 0x8877665544332211
+        assert eval_term(extbl(word, 0), {}) == 0x11
+        assert eval_term(extbl(word, 7), {}) == 0x88
+        assert eval_term(extwl(word, 4), {}) == 0x6655
+        assert eval_term(extll(word, 2), {}) == 0x66554433
+
+    def test_compare_ops(self):
+        assert eval_term(cmpult(3, 4), {}) == 1
+        assert eval_term(cmpult(4, 4), {}) == 0
+        assert eval_term(cmpule(4, 4), {}) == 1
+        assert eval_term(cmpeq(4, 4), {}) == 1
+        assert eval_term(cmpeq(4, 5), {}) == 0
+
+    def test_memory_select_update(self):
+        memory = make_memory({8: 7})
+        env = {"rm": memory}
+        assert eval_term(sel(Var("rm"), 8), env) == 7
+        updated = eval_term(upd(Var("rm"), 16, 99), env)
+        assert eval_term(sel(Var("rm"), 16), {"rm": updated}) == 99
+        # the original memory is unchanged (functional update)
+        assert eval_term(sel(Var("rm"), 16), env) == 0
+
+    def test_sel_reduces_to_word(self):
+        memory = make_memory({0: WORD_MOD + 5})
+        assert eval_term(sel(Var("rm"), 0), {"rm": memory}) == 5
+
+
+class TestOperatorProperties:
+    @given(any_ints, any_ints)
+    def test_machine_ops_are_word_valued(self, a, b):
+        for op in (add64, sub64, mul64, and64, or64, xor64, sll64, srl64,
+                   cmpeq, cmpult, cmpule, extbl, extwl, extll):
+            value = eval_term(op(a, b), {})
+            assert 0 <= value < WORD_MOD
+
+    @given(any_ints)
+    def test_mod64_is_word_valued_and_idempotent(self, a):
+        value = eval_term(mod64(a), {})
+        assert 0 <= value < WORD_MOD
+        assert eval_term(mod64(mod64(a)), {}) == value
+
+    @given(words, words)
+    def test_add64_matches_paper_definition(self, a, b):
+        assert eval_term(add64(a, b), {}) == (a + b) % WORD_MOD
+
+    @given(any_ints, any_ints)
+    def test_operands_reduced_before_computing(self, a, b):
+        assert eval_term(add64(a, b), {}) == \
+            eval_term(add64(a % WORD_MOD, b % WORD_MOD), {})

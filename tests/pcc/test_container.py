@@ -1,0 +1,79 @@
+"""PCC container format: layout, round-trips, and malformed input."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ValidationError
+from repro.pcc.container import (
+    PccBinary,
+    pack_invariants,
+    unpack_invariants,
+)
+from repro.lf.syntax import LfConst, LfInt, lf_app
+
+
+class TestRoundTrip:
+    @given(st.binary(max_size=64), st.binary(max_size=64),
+           st.binary(max_size=64), st.binary(max_size=32))
+    def test_arbitrary_sections(self, code, reloc, proof, inv):
+        binary = PccBinary(code, reloc, proof, inv)
+        assert PccBinary.from_bytes(binary.to_bytes()) == binary
+
+    def test_layout_matches_figure7_shape(self):
+        binary = PccBinary(b"c" * 45, b"r" * 175, b"p" * 120)
+        layout = binary.layout()
+        rows = layout.rows()
+        assert rows[0] == ("native code", 0, 45)
+        assert rows[1] == ("relocation", 45, 220)
+        assert rows[2] == ("proof", 220, 340)
+        assert binary.size == 340
+
+    def test_invariant_table_round_trip(self):
+        table = {3: lf_app(LfConst("ge"), LfInt(0), LfInt(0)),
+                 7: LfConst("true")}
+        packed = pack_invariants(table)
+        assert unpack_invariants(packed) == table
+
+    def test_empty_invariants(self):
+        assert unpack_invariants(b"") == {}
+        assert unpack_invariants(pack_invariants({})) == {}
+
+
+class TestMalformed:
+    def test_short_header(self):
+        with pytest.raises(ValidationError):
+            PccBinary.from_bytes(b"PCC1")
+
+    def test_bad_magic(self):
+        blob = PccBinary(b"", b"", b"").to_bytes()
+        with pytest.raises(ValidationError):
+            PccBinary.from_bytes(b"XXXX" + blob[4:])
+
+    def test_bad_version(self):
+        blob = bytearray(PccBinary(b"", b"", b"").to_bytes())
+        blob[4] = 99
+        with pytest.raises(ValidationError):
+            PccBinary.from_bytes(bytes(blob))
+
+    def test_inconsistent_lengths(self):
+        blob = PccBinary(b"abcd", b"", b"").to_bytes()
+        with pytest.raises(ValidationError):
+            PccBinary.from_bytes(blob + b"extra")
+        with pytest.raises(ValidationError):
+            PccBinary.from_bytes(blob[:-1])
+
+    def test_truncated_invariant_table(self):
+        packed = pack_invariants({0: LfConst("true")})
+        with pytest.raises(ValidationError):
+            unpack_invariants(packed[:-1])
+
+    @given(st.binary(max_size=80))
+    def test_random_bytes_never_crash(self, blob):
+        try:
+            PccBinary.from_bytes(blob)
+        except ValidationError:
+            pass
+        try:
+            unpack_invariants(blob)
+        except ValidationError:
+            pass

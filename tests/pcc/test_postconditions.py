@@ -1,0 +1,182 @@
+"""Postconditions (paper §2.1-§2.2): "we can also specify a postcondition
+as part of the safety policy, which would require particular invariants to
+be valid when the user code terminates."
+
+These tests certify programs against policies with non-trivial
+postconditions — boolean verdicts and final-memory-state facts — and
+check that lying programs are rejected.
+"""
+
+import pytest
+
+from repro.errors import CertificationError
+from repro.logic.formulas import Implies, Or, conj, eq, ne
+from repro.logic.terms import Var, add64, mod64, sel
+from repro.pcc import certify, validate
+from repro.vcgen.policy import SafetyPolicy, word_identity
+from repro.logic.formulas import wr, rd
+
+
+def _boolean_verdict_policy() -> SafetyPolicy:
+    """The verdict register must hold 0 or 1 at exit."""
+    return SafetyPolicy(
+        name="boolean-verdict",
+        precondition=word_identity(Var("r1")),
+        postcondition=Or(eq(Var("r0"), 0), eq(Var("r0"), 1)),
+    )
+
+
+def _store_echo_policy() -> SafetyPolicy:
+    """r3 is writable; at exit, the cell at r3 must hold r1's word value
+    — a data postcondition over the final memory state."""
+    r1, r3 = Var("r1"), Var("r3")
+    return SafetyPolicy(
+        name="store-echo",
+        precondition=conj([word_identity(r1), word_identity(r3),
+                           wr(r3), rd(r3)]),
+        postcondition=eq(sel(Var("rm"), r3), mod64(r1)),
+    )
+
+
+class TestBooleanVerdict:
+    def test_compare_result_certifies(self):
+        policy = _boolean_verdict_policy()
+        certified = certify("CMPEQ r1, 8, r0\nRET", policy)
+        validate(certified.binary.to_bytes(), policy)
+
+    def test_cmpult_and_cmpule_too(self):
+        policy = _boolean_verdict_policy()
+        certify("CMPULT r1, 64, r0\nRET", policy)
+        certify("CMPULE r1, r1, r0\nRET", policy)
+
+    def test_arbitrary_verdict_rejected(self):
+        policy = _boolean_verdict_policy()
+        with pytest.raises(CertificationError):
+            certify("ADDQ r1, 5, r0\nRET", policy)
+
+    def test_constant_verdicts_certify(self):
+        policy = _boolean_verdict_policy()
+        certify("SUBQ r0, r0, r0\nRET", policy)  # 0: left disjunct
+        certify("SUBQ r0, r0, r0\nADDQ r0, 1, r0\nRET", policy)
+
+
+def _semaphore_policy() -> SafetyPolicy:
+    """The §2 sketch: "we could change the tag word in the table entry to
+    be a semaphore ... furthermore, we could also require (via a simple
+    postcondition) that the code releases the semaphore before
+    returning."  Release is modelled as storing 1 into the tag cell."""
+    r0 = Var("r0")
+    rm = Var("rm")
+    precondition = conj([
+        word_identity(r0),
+        rd(r0),
+        rd(add64(r0, 8)),
+        wr(r0),
+        Implies(ne(sel(rm, r0), 0), wr(add64(r0, 8))),
+    ])
+    return SafetyPolicy(
+        name="semaphore-release",
+        precondition=precondition,
+        postcondition=eq(sel(Var("rm"), r0), 1),
+    )
+
+
+SEMAPHORE_CLIENT = """
+    ADDQ r0, 8, r1     % data address
+    LDQ  r2, 0(r0)     % the semaphore / tag
+    LDQ  r3, 8(r0)     % the data word
+    ADDQ r3, 1, r3
+    BEQ  r2, rel       % not held for us: skip the write
+    STQ  r3, 0(r1)
+rel: SUBQ r2, r2, r2
+    ADDQ r2, 1, r2
+    STQ  r2, 0(r0)     % release: semaphore := 1
+    RET
+"""
+
+
+class TestSemaphoreRelease:
+    def test_releasing_client_certifies(self):
+        policy = _semaphore_policy()
+        certified = certify(SEMAPHORE_CLIENT, policy)
+        validate(certified.binary.to_bytes(), policy)
+
+    def test_forgetting_to_release_rejected(self):
+        policy = _semaphore_policy()
+        forgetful = """
+            ADDQ r0, 8, r1
+            LDQ  r2, 0(r0)
+            LDQ  r3, 8(r0)
+            ADDQ r3, 1, r3
+            BEQ  r2, out
+            STQ  r3, 0(r1)
+        out: RET
+        """
+        with pytest.raises(CertificationError):
+            certify(forgetful, policy)
+
+    def test_releasing_on_one_path_only_rejected(self):
+        policy = _semaphore_policy()
+        half_released = """
+            LDQ  r2, 0(r0)
+            BEQ  r2, out
+            SUBQ r2, r2, r2
+            ADDQ r2, 1, r2
+            STQ  r2, 0(r0)
+        out: RET
+        """
+        with pytest.raises(CertificationError):
+            certify(half_released, policy)
+
+    def test_released_semantics(self):
+        from repro.alpha.machine import Machine, Memory
+        import struct
+        policy = _semaphore_policy()
+        certified = certify(SEMAPHORE_CLIENT, policy)
+        memory = Memory()
+        memory.map_region(0x800, struct.pack("<QQ", 7, 100),
+                          writable=True, name="entry")
+        Machine(certified.program, memory, {0: 0x800}).run()
+        semaphore, data = struct.unpack("<QQ",
+                                        bytes(memory.region("entry")))
+        assert semaphore == 1   # released
+        assert data == 101      # and the work got done
+
+
+class TestDataPostcondition:
+    def test_store_echo_certifies(self):
+        policy = _store_echo_policy()
+        certified = certify("STQ r1, 0(r3)\nRET", policy)
+        validate(certified.binary.to_bytes(), policy)
+
+    def test_semantics_of_certified_program(self):
+        from repro.alpha.machine import Machine, Memory
+        policy = _store_echo_policy()
+        certified = certify("STQ r1, 0(r3)\nRET", policy)
+        memory = Memory()
+        memory.map_region(0x100, bytes(8), writable=True, name="cell")
+        Machine(certified.program, memory,
+                {1: 0xDEAD, 3: 0x100}).run()
+        assert memory.load_quad(0x100) == 0xDEAD
+
+    def test_storing_the_wrong_value_rejected(self):
+        policy = _store_echo_policy()
+        with pytest.raises(CertificationError):
+            certify("ADDQ r1, 1, r2\nSTQ r2, 0(r3)\nRET", policy)
+
+    def test_not_storing_at_all_rejected(self):
+        policy = _store_echo_policy()
+        with pytest.raises(CertificationError):
+            certify("RET", policy)
+
+    def test_store_then_clobber_rejected(self):
+        """Storing the right value and then overwriting it fails — the
+        postcondition speaks about the FINAL memory."""
+        policy = _store_echo_policy()
+        with pytest.raises(CertificationError):
+            certify("""
+                STQ r1, 0(r3)
+                SUBQ r2, r2, r2
+                STQ r2, 0(r3)
+                RET
+            """, policy)

@@ -1,0 +1,85 @@
+"""Signed-branch hypotheses (BGE/BLT/BGT/BLE) in certification.
+
+The signed branches test the two's-complement sign bit; their VC
+hypotheses are comparisons against 2^63.  Combined with the packet
+policy's ``r2 < 2^63`` conjunct they make some arms provably dead —
+exercising the prover's contradiction handling — and BGT/BLE produce
+conjunction/disjunction hypotheses, exercising the or-elimination path.
+"""
+
+import pytest
+
+from repro.errors import CertificationError
+from repro.pcc import certify, validate
+
+
+class TestSignedBranches:
+    def test_bge_on_length_always_taken(self, filter_policy):
+        """r2 < 2^63 (policy) makes BGE r2 always taken; the fall-through
+        arm may do anything the policy allows — and certification must
+        still prove it safe (the VC covers both arms)."""
+        source = """
+            BGE r2, ok
+            LDQ r4, 0(r1)
+        ok: LDQ r4, 8(r1)
+            ADDQ r4, 0, r0
+            RET
+        """
+        certified = certify(source, filter_policy)
+        validate(certified.binary.to_bytes(), filter_policy)
+
+    def test_dead_arm_with_unsafe_code_still_certifies(self, filter_policy):
+        """The BLT arm is unreachable (r2 < 2^63 contradicts the taken
+        hypothesis), so even an out-of-window load there is fine: ex falso
+        quodlibet, mechanically."""
+        source = """
+            BLT r2, dead
+            ADDQ r2, 0, r0
+            RET
+        dead: LDQ r4, 4096(r1)
+            ADDQ r4, 0, r0
+            RET
+        """
+        certified = certify(source, filter_policy)
+        validate(certified.binary.to_bytes(), filter_policy)
+
+    def test_live_arm_with_unsafe_code_rejected(self, filter_policy):
+        """Flip the branch: now the unsafe load is reachable."""
+        source = """
+            BGE r2, dead
+            ADDQ r2, 0, r0
+            RET
+        dead: LDQ r4, 4096(r1)
+            ADDQ r4, 0, r0
+            RET
+        """
+        with pytest.raises(CertificationError):
+            certify(source, filter_policy)
+
+    def test_bgt_conjunction_hypothesis(self, filter_policy):
+        """BGT contributes (r2 < 2^63 AND r2 != 0) when taken."""
+        source = """
+            BGT r2, ok
+            SUBQ r0, r0, r0
+            RET
+        ok: LDQ r4, 8(r1)
+            ADDQ r4, 0, r0
+            RET
+        """
+        certified = certify(source, filter_policy)
+        validate(certified.binary.to_bytes(), filter_policy)
+
+    def test_ble_disjunction_hypothesis(self, filter_policy):
+        """BLE's taken arm carries (r2 >= 2^63 OR r2 = 0) — with the
+        policy's r2 >= 64 and r2 < 2^63 both disjuncts are refutable, so
+        the taken arm is dead and certifies by case split + ex falso."""
+        source = """
+            BLE r2, dead
+            ADDQ r2, 0, r0
+            RET
+        dead: LDQ r4, 4096(r1)
+            ADDQ r4, 0, r0
+            RET
+        """
+        certified = certify(source, filter_policy)
+        validate(certified.binary.to_bytes(), filter_policy)

@@ -1,0 +1,42 @@
+"""Cost-model shape tests that pin the qualitative claims the paper makes
+in prose — cheaper to keep here (tiny traces) than to rely only on the
+benchmark suite."""
+
+import pytest
+
+from repro.filters.programs import FILTERS
+from repro.filters.trace import TraceConfig, generate_trace
+from repro.perf import run_approach
+
+
+@pytest.fixture(scope="module")
+def micro_trace():
+    return generate_trace(TraceConfig(packets=250, seed=11))
+
+
+class TestOrderings:
+    def test_full_ranking_per_filter(self, micro_trace):
+        """PCC < SFI < BPF, PCC < m3-view <= m3-ish, jit between hand
+        code and the interpreter — Figure 8's qualitative content."""
+        for spec in FILTERS:
+            costs = {approach: run_approach(spec, approach,
+                                            micro_trace).cycles_per_packet
+                     for approach in ("pcc", "sfi", "m3", "m3-view",
+                                      "bpf", "bpf-jit")}
+            assert costs["pcc"] < costs["sfi"]
+            assert costs["pcc"] < costs["m3-view"]
+            assert costs["sfi"] < costs["bpf"]
+            assert costs["m3-view"] < costs["bpf"]
+            assert costs["pcc"] < costs["bpf-jit"] < costs["bpf"]
+
+    def test_filter_complexity_ordering_under_pcc(self, micro_trace):
+        """More work per packet for the more selective filters."""
+        costs = [run_approach(spec, "pcc", micro_trace).cycles_per_packet
+                 for spec in FILTERS]
+        assert costs[0] < costs[1] < costs[2]  # filter1 < filter2 < filter3
+
+    def test_cycles_deterministic(self, micro_trace):
+        first = run_approach(FILTERS[0], "pcc", micro_trace)
+        second = run_approach(FILTERS[0], "pcc", micro_trace)
+        assert first.cycles == second.cycles
+        assert first.accepted == second.accepted

@@ -1,0 +1,115 @@
+"""Performance harness tests: the cost model, pipelines, and the shape of
+the paper's comparisons on a small trace (the full-size runs live in
+benchmarks/)."""
+
+import pytest
+
+from repro.alpha.parser import parse_program
+from repro.filters.programs import FILTERS
+from repro.filters.trace import TraceConfig, generate_trace
+from repro.perf import (
+    ALPHA_175,
+    AlphaCostModel,
+    amortization_series,
+    crossover,
+    run_approach,
+    run_figure8,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_trace():
+    return generate_trace(TraceConfig(packets=400, seed=7))
+
+
+class TestCostModel:
+    def test_instruction_classes(self):
+        program = parse_program("""
+            ADDQ r0, 1, r0
+            LDQ  r4, 8(r1)
+            STQ  r4, 0(r3)
+            LDA  r5, 2(r0)
+            MULQ r0, r0, r0
+            BEQ  r0, out
+        out: RET
+        """)
+        model = ALPHA_175
+        costs = [model.cycles(instruction) for instruction in program]
+        assert costs == [1, 3, 1, 1, 23, 2, 2]
+
+    def test_microseconds_at_clock(self):
+        assert ALPHA_175.microseconds(175) == pytest.approx(1.0)
+
+    def test_custom_model(self):
+        slow_loads = AlphaCostModel(load=10)
+        program = parse_program("LDQ r4, 8(r1)\nRET")
+        assert slow_loads.cycles(program[0]) == 10
+
+
+class TestApproaches:
+    def test_all_approaches_agree_and_rank(self, tiny_trace):
+        """Correctness plus the paper's headline ordering on every filter:
+        PCC is fastest; BPF pays interpretation; SFI sits just above PCC."""
+        benchmarks = run_figure8(tiny_trace)
+        assert len(benchmarks) == 4
+        for bench in benchmarks:
+            results = bench.results
+            accepted = {r.accepted for r in results.values()}
+            assert len(accepted) == 1, f"{bench.filter_name} disagrees"
+            pcc = results["pcc"].cycles_per_packet
+            sfi = results["sfi"].cycles_per_packet
+            bpf = results["bpf"].cycles_per_packet
+            view = results["m3-view"].cycles_per_packet
+            assert pcc < sfi < bpf
+            assert pcc < view < bpf
+
+    def test_bpf_roughly_10x(self, tiny_trace):
+        """'BPF packet filters are about 10 times slower than our PCC
+        filters' — we accept a 4x..16x band across filters."""
+        for bench in run_figure8(tiny_trace, approaches=("bpf", "pcc")):
+            ratio = (bench.results["bpf"].cycles_per_packet
+                     / bench.results["pcc"].cycles_per_packet)
+            assert 4 < ratio < 16, f"{bench.filter_name}: {ratio:.1f}x"
+
+    def test_view_improves_on_plain(self, tiny_trace):
+        """'a 20% improvement in the Modula-3 packet filter performance
+        when using VIEW' — averaged across filters."""
+        improvements = []
+        for spec in FILTERS:
+            plain = run_approach(spec, "m3", tiny_trace)
+            view = run_approach(spec, "m3-view", tiny_trace)
+            improvements.append(1 - view.cycles_per_packet
+                                / plain.cycles_per_packet)
+        average = sum(improvements) / len(improvements)
+        assert average > 0.1
+
+    def test_unknown_approach(self, tiny_trace):
+        with pytest.raises(ValueError):
+            run_approach(FILTERS[0], "magic", tiny_trace)
+
+
+class TestAmortization:
+    def test_series_shape(self):
+        series = amortization_series(10.0, 0.5, 100, points=5)
+        assert [point.packets for point in series] == [0, 25, 50, 75, 100]
+        assert series[0].cumulative == 10.0
+        assert series[-1].cumulative == 60.0
+
+    def test_crossover(self):
+        # startup 12 vs 0; per-packet 1 vs 4 -> crossover at 4 packets
+        assert crossover(12, 1, 0, 4) == pytest.approx(4.0)
+        assert crossover(12, 4, 0, 1) is None
+
+    def test_crossover_ordering_matches_paper(self, tiny_trace):
+        """Figure 9: crossover vs BPF earliest, then M3, then SFI."""
+        spec = FILTERS[3]  # filter4, as in the paper
+        results = {approach: run_approach(spec, approach, tiny_trace)
+                   for approach in ("pcc", "bpf", "m3-view", "sfi")}
+        pcc = results["pcc"].cycles_per_packet
+        startup = 1_000_000.0  # any positive validation cost (cycles)
+        crossings = {
+            name: crossover(startup, pcc, 0.0,
+                            results[name].cycles_per_packet)
+            for name in ("bpf", "m3-view", "sfi")
+        }
+        assert crossings["bpf"] < crossings["m3-view"] < crossings["sfi"]

@@ -1,0 +1,82 @@
+"""CLI smoke tests: every subcommand, success and failure paths."""
+
+import pytest
+
+from repro.cli import main
+
+FILTER1 = """
+    LDQ    r4, 8(r1)
+    EXTWL  r4, 4, r4
+    CMPEQ  r4, 8, r0
+    RET
+"""
+
+
+@pytest.fixture(scope="module")
+def certified_file(tmp_path_factory):
+    directory = tmp_path_factory.mktemp("cli")
+    source = directory / "filter.s"
+    source.write_text(FILTER1)
+    output = directory / "filter.pcc"
+    assert main(["certify", str(source), "-o", str(output),
+                 "--policy", "packet-filter"]) == 0
+    return output
+
+
+class TestCli:
+    def test_validate(self, certified_file, capsys):
+        assert main(["validate", str(certified_file),
+                     "--policy", "packet-filter"]) == 0
+        out = capsys.readouterr().out
+        assert "VALID" in out
+        assert "proof bytes" in out
+
+    def test_validate_wrong_policy_fails(self, certified_file, capsys):
+        assert main(["validate", str(certified_file),
+                     "--policy", "resource-access"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_validate_tampered_fails(self, certified_file, tmp_path):
+        blob = bytearray(certified_file.read_bytes())
+        blob[25] ^= 0xFF
+        bad = tmp_path / "bad.pcc"
+        bad.write_bytes(bytes(blob))
+        assert main(["validate", str(bad),
+                     "--policy", "packet-filter"]) == 1
+
+    def test_disasm(self, certified_file, capsys):
+        assert main(["disasm", str(certified_file)]) == 0
+        out = capsys.readouterr().out
+        assert "LDQ r4, 8(r1)" in out
+        assert "RET" in out
+
+    def test_layout(self, certified_file, capsys):
+        assert main(["layout", str(certified_file)]) == 0
+        out = capsys.readouterr().out
+        assert "native code" in out
+        assert "proof" in out
+
+    def test_filter_run(self, capsys):
+        assert main(["filter", "filter1", "--packets", "60"]) == 0
+        out = capsys.readouterr().out
+        assert "pcc" in out and "bpf" in out
+        assert "cycles/pkt" in out
+
+    def test_unknown_policy(self, tmp_path):
+        source = tmp_path / "f.s"
+        source.write_text(FILTER1)
+        with pytest.raises(SystemExit):
+            main(["certify", str(source), "-o", str(tmp_path / "o"),
+                  "--policy", "nonsense"])
+
+    def test_unknown_filter(self):
+        with pytest.raises(SystemExit):
+            main(["filter", "filter99"])
+
+    def test_uncertifiable_source(self, tmp_path, capsys):
+        source = tmp_path / "bad.s"
+        source.write_text("LDQ r4, 4096(r1)\nRET\n")
+        assert main(["certify", str(source), "-o",
+                     str(tmp_path / "bad.pcc"),
+                     "--policy", "packet-filter"]) == 1
+        assert "error" in capsys.readouterr().err

@@ -1,0 +1,112 @@
+"""Safety-policy objects: formula structure and semantic interpretation.
+
+The semantic checkers (used by the abstract machine) must agree with the
+logical preconditions — these tests probe both sides of that boundary.
+"""
+
+import pytest
+
+from repro.filters.policy import (
+    PACKET_BASE,
+    SCRATCH_BASE,
+    SCRATCH_SIZE,
+    packet_filter_policy,
+    packet_memory,
+)
+from repro.logic.formulas import Forall, conjuncts, formula_vars, holds
+from repro.vcgen.policy import SafetyPolicy, resource_access_policy
+
+
+class TestResourceAccessPolicy:
+    def test_checkers_reflect_tag(self):
+        policy = resource_access_policy()
+        registers = {0: 0x1000}
+
+        can_read, can_write = policy.checkers(
+            registers, lambda address: 7)  # non-zero tag
+        assert can_read(0x1000) and can_read(0x1008)
+        assert not can_read(0x1010)
+        assert can_write(0x1008)
+        assert not can_write(0x1000)
+
+        can_read, can_write = policy.checkers(
+            registers, lambda address: 0)  # zero tag: data read-only
+        assert not can_write(0x1008)
+
+    def test_precondition_is_closed_over_registers_only(self):
+        policy = resource_access_policy()
+        assert formula_vars(policy.precondition) <= {"r0", "rm"}
+
+
+class TestPacketFilterPolicy:
+    def test_precondition_structure(self):
+        policy = packet_filter_policy()
+        parts = conjuncts(policy.precondition)
+        # 5 register-value conjuncts + 4 quantified memory facts
+        assert len(parts) == 9
+        assert sum(isinstance(part, Forall) for part in parts) == 4
+
+    def test_checkers(self):
+        policy = packet_filter_policy()
+        registers = {1: PACKET_BASE, 2: 100, 3: SCRATCH_BASE}
+        can_read, can_write = policy.checkers(registers, lambda a: 0)
+        assert can_read(PACKET_BASE)
+        assert can_read(PACKET_BASE + 96)
+        assert not can_read(PACKET_BASE + 100)
+        assert can_read(SCRATCH_BASE)
+        assert can_write(SCRATCH_BASE + 8)
+        assert not can_write(SCRATCH_BASE + SCRATCH_SIZE)
+        assert not can_write(PACKET_BASE)
+
+    def test_precondition_holds_semantically(self):
+        """The precondition evaluates true in the states the kernel
+        actually constructs — the hinge between syntax and semantics."""
+        policy = packet_filter_policy()
+        length = 128
+        registers = {1: PACKET_BASE, 2: length, 3: SCRATCH_BASE}
+        can_read, can_write = policy.checkers(registers, lambda a: 0)
+        env = {f"r{i}": registers.get(i, 0) for i in range(11)}
+        from repro.logic.terms import make_memory
+        env["rm"] = make_memory({})
+        samples = (0, 8, 16, 63, 64, length - 8, length, 2048)
+        assert holds(policy.precondition, env, can_read, can_write,
+                     forall_samples=samples)
+
+    def test_memory_padding(self):
+        memory = packet_memory(b"\x01" * 61)  # padded to 64
+        assert len(memory.region("packet")) == 64
+        assert memory.load_quad(PACKET_BASE + 56) == 0x0000000101010101
+
+    def test_policy_without_semantics_raises(self):
+        from repro.logic.formulas import Truth
+        policy = SafetyPolicy(name="bare", precondition=Truth())
+        with pytest.raises(ValueError):
+            policy.checkers({}, lambda a: 0)
+
+
+class TestSfiPolicy:
+    def test_segment_checkers(self):
+        from repro.baselines.sfi import sfi_policy
+        from repro.baselines.sfi.policy import (
+            SFI_PACKET_BASE,
+            SFI_SCRATCH_BASE,
+        )
+        policy = sfi_policy()
+        registers = {1: SFI_PACKET_BASE, 2: 64, 3: SFI_SCRATCH_BASE}
+        can_read, can_write = policy.checkers(registers, lambda a: 0)
+        # the WHOLE 2048-byte segment is readable, past the packet length
+        assert can_read(SFI_PACKET_BASE + 2040)
+        assert not can_read(SFI_PACKET_BASE + 2048)
+        assert can_write(SFI_SCRATCH_BASE + 8)
+        assert not can_write(SFI_PACKET_BASE)
+
+
+class TestChecksumPolicy:
+    def test_read_only_buffer(self):
+        from repro.filters.checksum import BUFFER_BASE, checksum_policy
+        policy = checksum_policy()
+        registers = {1: BUFFER_BASE, 2: 64}
+        can_read, can_write = policy.checkers(registers, lambda a: 0)
+        assert can_read(BUFFER_BASE + 56)
+        assert not can_read(BUFFER_BASE + 64)
+        assert not can_write(BUFFER_BASE)
