@@ -17,9 +17,27 @@ from repro.perf import ALPHA_175, run_figure8
 from repro.perf.harness import APPROACHES
 
 
-def test_figure8(benchmark, trace, record):
+def test_figure8(benchmark, trace, record, record_json):
     benchmarks = benchmark.pedantic(
         run_figure8, args=(trace,), rounds=1, iterations=1)
+
+    rows = []
+    for bench in benchmarks:
+        for approach in APPROACHES:
+            result = bench.results[approach]
+            rows.append({
+                "filter": result.filter_name,
+                "approach": approach,
+                "packets": result.packets,
+                "accepted": result.accepted,
+                "cycles": result.cycles,
+                "instructions": result.instructions,
+                "cycles_per_packet": result.cycles_per_packet,
+                "us_per_packet_175mhz": result.us_per_packet(ALPHA_175),
+                "python_us_per_packet": result.python_us_per_packet,
+                "wall_seconds": result.wall_seconds,
+            })
+    record_json("figure8", {"packets": len(trace), "rows": rows})
 
     lines = [
         f"packets: {len(trace)} (paper: 200,000 from a busy CMU Ethernet)",

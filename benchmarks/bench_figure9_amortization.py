@@ -36,7 +36,7 @@ def _startup_wall(fn) -> float:
 
 
 def test_figure9(benchmark, trace, certified_filters, filter_policy,
-                 record):
+                 record, record_json):
     spec = FILTERS[3]  # filter4, as in the paper
     blob = certified_filters["filter4"].binary.to_bytes()
 
@@ -103,6 +103,13 @@ def test_figure9(benchmark, trace, certified_filters, filter_policy,
     lines.append("at the paper's ~1000 packets/second, every crossover "
                  "lands within seconds of traffic")
     record("figure9_amortization", lines)
+    record_json("figure9", {
+        "packets": len(trace),
+        "scale": scale,
+        "startup_modeled_us": startup_us,
+        "per_packet_modeled_us": per_packet_us,
+        "crossover_packets": crossings,
+    })
 
     # The paper's ordering: the bigger the per-packet gap, the earlier
     # the crossover.

@@ -19,7 +19,8 @@ cheapest on every column.
 from repro.pcc import validate
 
 
-def test_table1(benchmark, certified_filters, filter_policy, record):
+def test_table1(benchmark, certified_filters, filter_policy, record,
+                record_json):
     order = ("filter1", "filter2", "filter3", "filter4")
     blobs = {name: certified_filters[name].binary.to_bytes()
              for name in order}
@@ -38,6 +39,19 @@ def test_table1(benchmark, certified_filters, filter_policy, record):
     memory = {name: validate(blobs[name], filter_policy,
                              measure_memory=True).peak_memory_bytes
               for name in order}
+
+    record_json("table1", {
+        name: {
+            "instructions": reports[name].instructions,
+            "binary_bytes": reports[name].binary_bytes,
+            "code_bytes": reports[name].code_bytes,
+            "relocation_bytes": reports[name].relocation_bytes,
+            "proof_bytes": reports[name].proof_bytes,
+            "validation_ms": reports[name].validation_seconds * 1000,
+            "validation_heap_kb": memory[name] / 1024,
+        }
+        for name in order
+    })
 
     paper = {
         "filter1": (8, 385, 780, 5.5),

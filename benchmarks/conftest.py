@@ -4,12 +4,15 @@ Every benchmark regenerates one of the paper's tables or figures and
 prints it next to the paper's numbers; the same rows are appended to
 ``benchmarks/results/`` so EXPERIMENTS.md can reference a concrete run.
 
-Scale knob: ``PCC_BENCH_PACKETS`` (default 10,000; the paper used a
-200,000-packet trace — set the variable to reproduce at full scale).
+Scale knobs: ``--packets N`` (quick mode, e.g. ``pytest benchmarks
+--packets 2000``) or the ``PCC_BENCH_PACKETS`` environment variable
+(default 10,000; the paper used a 200,000-packet trace — set either to
+reproduce at full scale).  The command-line option wins.
 """
 
 from __future__ import annotations
 
+import json
 import os
 import sys
 from pathlib import Path
@@ -25,8 +28,24 @@ from repro.pcc import certify  # noqa: E402
 
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
 
+_PACKETS_OVERRIDE: int | None = None
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--packets", type=int, default=None, metavar="N",
+        help="trace length for the figure-8/figure-9 benchmarks "
+             "(quick mode; overrides PCC_BENCH_PACKETS)")
+
+
+def pytest_configure(config):
+    global _PACKETS_OVERRIDE
+    _PACKETS_OVERRIDE = config.getoption("--packets", default=None)
+
 
 def bench_packets() -> int:
+    if _PACKETS_OVERRIDE:
+        return _PACKETS_OVERRIDE
     return int(os.environ.get("PCC_BENCH_PACKETS", "10000"))
 
 
@@ -55,5 +74,18 @@ def record():
         text = "\n".join(lines)
         print(f"\n===== {name} =====\n{text}\n", flush=True)
         (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+    return writer
+
+
+@pytest.fixture(scope="session")
+def record_json():
+    """Persist a benchmark's rows as ``BENCH_<name>.json`` next to the
+    text report, so downstream tooling can diff numbers structurally."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def writer(name: str, payload) -> None:
+        path = RESULTS_DIR / f"BENCH_{name}.json"
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
 
     return writer

@@ -9,7 +9,10 @@ the byte-manipulation and compare instructions the hand-tuned filters need):
 * :mod:`repro.alpha.encoding` — real 32-bit Alpha instruction encodings,
 * :mod:`repro.alpha.machine` — the concrete processor (no safety checks),
 * :mod:`repro.alpha.abstract` — the paper's abstract machine (Figure 3),
-  which blocks on any rd()/wr() safety-check failure.
+  which blocks on any rd()/wr() safety-check failure,
+* :mod:`repro.alpha.engine` — the threaded-code execution engine: the
+  same semantics as both machines (checks are a decode-time parameter),
+  pre-decoded into per-instruction closures for the perf harness.
 """
 
 from repro.alpha.isa import (
@@ -32,7 +35,8 @@ from repro.alpha.isa import (
 from repro.alpha.parser import parse_program, format_program
 from repro.alpha.encoding import encode_program, decode_program
 from repro.alpha.machine import Machine, Memory, MachineResult
-from repro.alpha.abstract import AbstractMachine
+from repro.alpha.abstract import AbstractMachine, abstract_engine, run_abstract
+from repro.alpha.engine import ExecutionEngine, compile_program, run_program
 
 __all__ = [
     "NUM_REGS",
@@ -58,4 +62,9 @@ __all__ = [
     "Memory",
     "MachineResult",
     "AbstractMachine",
+    "abstract_engine",
+    "run_abstract",
+    "ExecutionEngine",
+    "compile_program",
+    "run_program",
 ]

@@ -16,11 +16,65 @@ from __future__ import annotations
 
 from typing import Callable
 
-from repro.alpha.machine import Machine, Memory
+from repro.alpha.engine import CheckHook, ExecutionEngine
+from repro.alpha.machine import Machine, MachineResult, Memory
 from repro.alpha.isa import Program
 from repro.errors import SafetyViolation
 
 AddressPredicate = Callable[[int], bool]
+
+
+def make_check_hooks(can_read: AddressPredicate,
+                     can_write: AddressPredicate,
+                     ) -> tuple[CheckHook, CheckHook]:
+    """The Figure 3 boxed checks as engine decode-time hooks.
+
+    Alignment is enforced here uniformly, exactly as in
+    :class:`AbstractMachine`; a failed check raises
+    :class:`SafetyViolation` — the abstract machine is stuck.
+    """
+
+    def check_read(address: int, pc: int) -> None:
+        if address & 7 or not can_read(address):
+            raise SafetyViolation(
+                f"rd({address:#x}) check failed at pc={pc}",
+                pc=pc, address=address)
+
+    def check_write(address: int, pc: int) -> None:
+        if address & 7 or not can_write(address):
+            raise SafetyViolation(
+                f"wr({address:#x}) check failed at pc={pc}",
+                pc=pc, address=address)
+
+    return check_read, check_write
+
+
+def abstract_engine(program: Program,
+                    can_read: AddressPredicate,
+                    can_write: AddressPredicate,
+                    cost_model=None,
+                    max_steps: int = 1_000_000) -> ExecutionEngine:
+    """A threaded-code engine with the rd()/wr() checks decoded in.
+
+    Behaviourally identical to :class:`AbstractMachine` (the reference
+    subclass below) but pays the safety checks only on memory
+    instructions' closures instead of a per-step virtual dispatch.
+    Checked translations embed the per-run predicates, so they are not
+    shared through the global code cache.
+    """
+    check_read, check_write = make_check_hooks(can_read, can_write)
+    return ExecutionEngine(program, cost_model, max_steps,
+                           check_read=check_read, check_write=check_write)
+
+
+def run_abstract(program: Program, memory: Memory,
+                 can_read: AddressPredicate, can_write: AddressPredicate,
+                 registers: dict[int, int] | None = None,
+                 cost_model=None, max_steps: int = 1_000_000,
+                 ) -> MachineResult:
+    """One-shot abstract execution on the engine (Figure 3 semantics)."""
+    return abstract_engine(program, can_read, can_write, cost_model,
+                           max_steps).run(memory, registers)
 
 
 class AbstractMachine(Machine):

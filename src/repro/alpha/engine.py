@@ -1,0 +1,808 @@
+"""Threaded-code execution engine for the Alpha subset.
+
+:class:`repro.alpha.machine.Machine` is the *reference* interpreter: it
+re-decodes every instruction on every step (``isinstance`` chains,
+string-keyed operator dispatch, a ``cost_model.cycles()`` call per
+instruction).  That is faithful to Figure 3 but dominates the wall-clock
+cost of the paper's evaluation, where four filters run over a
+200,000-packet trace under six approaches.
+
+This module removes the interpretation overhead without changing a single
+modeled cycle.  A :class:`Program` is translated *once* into a flat list
+of specialized per-instruction closures — classic threaded code, the same
+escape hatch real packet-filter stacks use when they outgrow a
+switch-based interpreter:
+
+* operand register indices, sign-extended displacements, pre-shifted
+  literal amounts, and branch targets are resolved at decode time and
+  captured in closure cells;
+* the per-instruction cycle charge is looked up from the cost model once
+  per *static* instruction and stored in a parallel ``costs`` array, so
+  the run loop replaces a polymorphic ``cycles()`` call with a list index;
+* branch successors are validated at decode time: a target that leaves
+  the program compiles to a trap closure that raises the same
+  :class:`~repro.errors.MachineError` the reference machine would raise,
+  at the same point in execution, so the run loop needs no per-step
+  bounds check;
+* the abstract machine's rd()/wr() checks are a *decode-time* parameter:
+  passing ``check_read``/``check_write`` bakes the paper's Figure 3
+  safety checks into the LDQ/STQ closures, so
+  :mod:`repro.alpha.abstract` rides the same engine (see
+  :func:`repro.alpha.abstract.abstract_engine`).
+
+On top of the closure table sits a second decode layer: *basic-block
+superinstructions*.  Straight-line runs (single entry, terminated by a
+control transfer or the next branch target) are compiled with ``exec``
+into one specialized Python function per block — constants inlined as
+literals, registers held in locals and flushed to the register file at
+the block exit.  A block's dynamic step and cycle counts are decode-time
+constants, so the run loop charges them with two additions per *block*
+instead of per instruction.  Mid-block exceptions are safe: ``run()``
+never exposes its register list, so deferred write-back is unobservable,
+and error messages/order are unchanged because instructions execute in
+program order inside the block.  The per-instruction table remains the
+execution vehicle near the step limit, where the reference machine's
+per-instruction limit check must be replicated exactly.
+
+Unchecked translations are cached per ``(program, cost_model)`` in a
+module-level code cache: the perf harness compiles each filter once and
+reuses the closure table across all 200,000 packets.  Checked
+translations capture per-run predicates and are rebuilt per engine.
+
+The engine is *bit-identical* to the reference machine — same
+``MachineResult`` fields, same error types and messages, same
+abstract-machine blocking — which the differential property suite
+(``tests/alpha/test_engine_differential.py``) asserts on random programs.
+
+Cost models are resolved at decode time, so they must be pure functions
+of the static instruction (true of :class:`repro.perf.cost.AlphaCostModel`).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, NamedTuple
+
+from repro.alpha.isa import (
+    NUM_REGS,
+    Br,
+    Branch,
+    Instruction,
+    Lda,
+    Ldah,
+    Ldq,
+    Lit,
+    Operate,
+    Program,
+    Ret,
+    Stq,
+)
+from repro.alpha.machine import MachineResult, Memory, WORD_MASK, _sext16
+from repro.errors import MachineError
+
+_SIGN_BIT = 1 << 63
+
+#: A translated instruction: ``(regs, memory) -> next_pc``; a negative
+#: next_pc means RET (the result is in ``regs[0]``).
+Op = Callable[[list, Memory], int]
+
+#: Safety-check hook, as in :meth:`Machine._check_read`: called with
+#: ``(address, pc)``, raises to block execution.
+CheckHook = Callable[[int, int], None]
+
+_RET = -1
+
+
+class CompiledCode(NamedTuple):
+    """Both decode layers for one program.
+
+    ``ops``/``costs`` are the per-instruction closure table (plus trap
+    slots appended past the program for invalid branch targets).
+    ``blocks``/``block_len``/``block_cost`` are the basic-block layer:
+    indexed by pc, populated only at block leaders and trap slots — the
+    only pcs control flow can ever reach from outside a block.
+    """
+
+    ops: list
+    costs: list
+    blocks: list
+    block_len: list
+    block_cost: list
+
+
+# ---------------------------------------------------------------------------
+# The program code cache (unchecked translations only).
+
+_CODE_CACHE: dict = {}
+_CODE_CACHE_LIMIT = 512
+
+
+def code_cache_size() -> int:
+    """Number of cached translations (introspection for tests)."""
+    return len(_CODE_CACHE)
+
+
+def clear_code_cache() -> None:
+    """Drop every cached translation."""
+    _CODE_CACHE.clear()
+
+
+def compile_program(program: Program, cost_model=None,
+                    check_read: CheckHook | None = None,
+                    check_write: CheckHook | None = None,
+                    ) -> CompiledCode:
+    """Translate ``program`` into threaded code (:class:`CompiledCode`).
+
+    Unchecked translations are cached; checked ones capture the hook
+    closures and are always rebuilt (the hooks embed per-run state).
+    """
+    if check_read is None and check_write is None:
+        key = (program, cost_model)
+        try:
+            cached = _CODE_CACHE.get(key)
+        except TypeError:           # unhashable custom cost model
+            return _compile(program, cost_model, None, None)
+        if cached is not None:
+            return cached
+        compiled = _compile(program, cost_model, None, None)
+        if len(_CODE_CACHE) >= _CODE_CACHE_LIMIT:
+            _CODE_CACHE.clear()
+        _CODE_CACHE[key] = compiled
+        return compiled
+    return _compile(program, cost_model, check_read, check_write)
+
+
+def _compile(program: Program, cost_model,
+             check_read: CheckHook | None,
+             check_write: CheckHook | None) -> CompiledCode:
+    ops, costs, traps = _translate(program, cost_model,
+                                   check_read, check_write)
+    blocks, block_len, block_cost = _compile_blocks(
+        program, ops, costs, traps, check_read, check_write)
+    return CompiledCode(ops, costs, blocks, block_len, block_cost)
+
+
+class ExecutionEngine:
+    """Runs one translated program; reusable across memories and runs.
+
+    The constructor pays the (cached) translation cost; :meth:`run` is
+    the per-packet hot path.  ``check_read``/``check_write`` follow the
+    :meth:`Machine._check_read` contract and turn this into the abstract
+    machine of Figure 3.
+    """
+
+    def __init__(self, program: Program, cost_model=None,
+                 max_steps: int = 1_000_000,
+                 check_read: CheckHook | None = None,
+                 check_write: CheckHook | None = None) -> None:
+        self.program = program
+        self.cost_model = cost_model
+        self.max_steps = max_steps
+        self._code = compile_program(
+            program, cost_model, check_read, check_write)
+        self._ops = self._code.ops
+        self._costs = self._code.costs
+
+    def run(self, memory: Memory,
+            registers: dict[int, int] | None = None) -> MachineResult:
+        """Execute once against ``memory``; registers start zeroed."""
+        regs = [0] * NUM_REGS
+        if registers:
+            for index, value in registers.items():
+                regs[index] = value & WORD_MASK
+        code = self._code
+        blocks = code.blocks
+        block_len = code.block_len
+        block_cost = code.block_cost
+        max_steps = self.max_steps
+        pc = 0
+        steps = 0
+        cycles = 0
+        # Blocks are entered only at leaders, so a block's step and cycle
+        # charges are decode-time constants.  The step-limit check guards
+        # every block entry; a block that would cross the limit runs
+        # per-instruction instead, reproducing the reference machine's
+        # check ordering exactly (a block never crosses the limit
+        # silently, and errors raised before the limit still win).
+        while True:
+            if steps >= max_steps:
+                raise MachineError(
+                    f"exceeded {max_steps} steps (runaway program?)")
+            length = block_len[pc]
+            if steps + length > max_steps:
+                return self._run_stepwise(regs, memory, pc, steps, cycles)
+            cycles += block_cost[pc]
+            steps += length
+            pc = blocks[pc](regs, memory)
+            if pc < 0:
+                return MachineResult(regs[0], steps, cycles)
+
+    def _run_stepwise(self, regs: list, memory: Memory, pc: int,
+                      steps: int, cycles: int) -> MachineResult:
+        """Per-instruction execution for the last block before the step
+        limit; at most ``max_steps - steps`` instructions run here."""
+        ops = self._ops
+        costs = self._costs
+        max_steps = self.max_steps
+        while True:
+            if steps >= max_steps:
+                raise MachineError(
+                    f"exceeded {max_steps} steps (runaway program?)")
+            cycles += costs[pc]
+            steps += 1
+            pc = ops[pc](regs, memory)
+            if pc < 0:
+                return MachineResult(regs[0], steps, cycles)
+
+
+def run_program(program: Program, memory: Memory,
+                registers: dict[int, int] | None = None,
+                cost_model=None, max_steps: int = 1_000_000) -> MachineResult:
+    """One-shot convenience wrapper over :class:`ExecutionEngine`."""
+    return ExecutionEngine(program, cost_model, max_steps).run(
+        memory, registers)
+
+
+# ---------------------------------------------------------------------------
+# Translation.
+
+def _translate(program: Program, cost_model,
+               check_read: CheckHook | None,
+               check_write: CheckHook | None,
+               ) -> tuple[list[Op], list[int], dict[int, int]]:
+    size = len(program)
+    ops: list[Op] = [None] * size  # type: ignore[list-item]
+    costs: list[int] = [0] * size
+    traps: dict[int, int] = {}     # bad target pc -> trap slot
+
+    def resolve(target: int) -> int:
+        """A successor pc, or a trap slot raising the reference error."""
+        if 0 <= target < size:
+            return target
+        slot = traps.get(target)
+        if slot is None:
+            slot = len(ops)
+            ops.append(_make_pc_trap(target))
+            costs.append(0)
+            traps[target] = slot
+        return slot
+
+    if size == 0:
+        # The reference machine rejects pc=0 before fetching anything.
+        return [_make_pc_trap(0)], [0], {0: 0}
+
+    for pc, instruction in enumerate(program):
+        costs[pc] = cost_model.cycles(instruction) if cost_model else 1
+        nxt = resolve(pc + 1)
+        if isinstance(instruction, Operate):
+            ops[pc] = _make_operate(instruction, nxt)
+        elif isinstance(instruction, Ldq):
+            ops[pc] = _make_ldq(instruction, nxt, pc, check_read)
+        elif isinstance(instruction, Stq):
+            ops[pc] = _make_stq(instruction, nxt, pc, check_write)
+        elif isinstance(instruction, Lda):
+            ops[pc] = _make_lda(instruction, nxt)
+        elif isinstance(instruction, Ldah):
+            ops[pc] = _make_ldah(instruction, nxt)
+        elif isinstance(instruction, Branch):
+            ops[pc] = _make_branch(instruction,
+                                   resolve(pc + 1 + instruction.offset), nxt)
+        elif isinstance(instruction, Br):
+            target = resolve(pc + 1 + instruction.offset)
+            ops[pc] = _make_br(target)
+        elif isinstance(instruction, Ret):
+            ops[pc] = _ret_op
+        else:  # pragma: no cover - exhaustive over Instruction
+            ops[pc] = _make_execute_trap(instruction)
+    return ops, costs, traps
+
+
+def _ret_op(regs: list, memory: Memory) -> int:
+    return _RET
+
+
+def _make_pc_trap(target: int) -> Op:
+    def op(regs: list, memory: Memory) -> int:
+        raise MachineError(f"pc {target} outside program")
+    return op
+
+
+def _make_execute_trap(instruction: Instruction) -> Op:  # pragma: no cover
+    def op(regs: list, memory: Memory) -> int:
+        raise MachineError(f"cannot execute {instruction!r}")
+    return op
+
+
+def _make_operate(instruction: Operate, nxt: int) -> Op:
+    """Specialize one ALU instruction; literals are folded at decode."""
+    name = instruction.name
+    a = instruction.ra.index
+    c = instruction.rc.index
+    if isinstance(instruction.rb, Lit):
+        k = instruction.rb.value
+        if name == "ADDQ":
+            def op(regs, memory):
+                regs[c] = (regs[a] + k) & WORD_MASK
+                return nxt
+        elif name == "SUBQ":
+            def op(regs, memory):
+                regs[c] = (regs[a] - k) & WORD_MASK
+                return nxt
+        elif name == "MULQ":
+            def op(regs, memory):
+                regs[c] = (regs[a] * k) & WORD_MASK
+                return nxt
+        elif name == "AND":
+            def op(regs, memory):
+                regs[c] = regs[a] & k
+                return nxt
+        elif name == "BIS":
+            def op(regs, memory):
+                regs[c] = regs[a] | k
+                return nxt
+        elif name == "XOR":
+            def op(regs, memory):
+                regs[c] = regs[a] ^ k
+                return nxt
+        elif name == "SLL":
+            shift = k & 63
+
+            def op(regs, memory):
+                regs[c] = (regs[a] << shift) & WORD_MASK
+                return nxt
+        elif name == "SRL":
+            shift = k & 63
+
+            def op(regs, memory):
+                regs[c] = regs[a] >> shift
+                return nxt
+        elif name == "CMPEQ":
+            def op(regs, memory):
+                regs[c] = 1 if regs[a] == k else 0
+                return nxt
+        elif name == "CMPULT":
+            def op(regs, memory):
+                regs[c] = 1 if regs[a] < k else 0
+                return nxt
+        elif name == "CMPULE":
+            def op(regs, memory):
+                regs[c] = 1 if regs[a] <= k else 0
+                return nxt
+        elif name == "EXTBL":
+            shift = 8 * (k & 7)
+
+            def op(regs, memory):
+                regs[c] = (regs[a] >> shift) & 0xFF
+                return nxt
+        elif name == "EXTWL":
+            shift = 8 * (k & 7)
+
+            def op(regs, memory):
+                regs[c] = (regs[a] >> shift) & 0xFFFF
+                return nxt
+        elif name == "EXTLL":
+            shift = 8 * (k & 7)
+
+            def op(regs, memory):
+                regs[c] = (regs[a] >> shift) & 0xFFFFFFFF
+                return nxt
+        else:  # pragma: no cover - Operate.__post_init__ rejects these
+            raise MachineError(f"unknown operate {name!r}")
+        return op
+
+    b = instruction.rb.index
+    if name == "ADDQ":
+        def op(regs, memory):
+            regs[c] = (regs[a] + regs[b]) & WORD_MASK
+            return nxt
+    elif name == "SUBQ":
+        def op(regs, memory):
+            regs[c] = (regs[a] - regs[b]) & WORD_MASK
+            return nxt
+    elif name == "MULQ":
+        def op(regs, memory):
+            regs[c] = (regs[a] * regs[b]) & WORD_MASK
+            return nxt
+    elif name == "AND":
+        def op(regs, memory):
+            regs[c] = regs[a] & regs[b]
+            return nxt
+    elif name == "BIS":
+        def op(regs, memory):
+            regs[c] = regs[a] | regs[b]
+            return nxt
+    elif name == "XOR":
+        def op(regs, memory):
+            regs[c] = regs[a] ^ regs[b]
+            return nxt
+    elif name == "SLL":
+        def op(regs, memory):
+            regs[c] = (regs[a] << (regs[b] & 63)) & WORD_MASK
+            return nxt
+    elif name == "SRL":
+        def op(regs, memory):
+            regs[c] = regs[a] >> (regs[b] & 63)
+            return nxt
+    elif name == "CMPEQ":
+        def op(regs, memory):
+            regs[c] = 1 if regs[a] == regs[b] else 0
+            return nxt
+    elif name == "CMPULT":
+        def op(regs, memory):
+            regs[c] = 1 if regs[a] < regs[b] else 0
+            return nxt
+    elif name == "CMPULE":
+        def op(regs, memory):
+            regs[c] = 1 if regs[a] <= regs[b] else 0
+            return nxt
+    elif name == "EXTBL":
+        def op(regs, memory):
+            regs[c] = (regs[a] >> (8 * (regs[b] & 7))) & 0xFF
+            return nxt
+    elif name == "EXTWL":
+        def op(regs, memory):
+            regs[c] = (regs[a] >> (8 * (regs[b] & 7))) & 0xFFFF
+            return nxt
+    elif name == "EXTLL":
+        def op(regs, memory):
+            regs[c] = (regs[a] >> (8 * (regs[b] & 7))) & 0xFFFFFFFF
+            return nxt
+    else:  # pragma: no cover - Operate.__post_init__ rejects these
+        raise MachineError(f"unknown operate {name!r}")
+    return op
+
+
+def _make_ldq(instruction: Ldq, nxt: int, pc: int,
+              check_read: CheckHook | None) -> Op:
+    d = instruction.rd.index
+    s = instruction.rs.index
+    disp = _sext16(instruction.disp)
+    if check_read is None:
+        def op(regs, memory):
+            regs[d] = memory.load_quad((regs[s] + disp) & WORD_MASK)
+            return nxt
+    else:
+        def op(regs, memory):
+            address = (regs[s] + disp) & WORD_MASK
+            check_read(address, pc)
+            regs[d] = memory.load_quad(address)
+            return nxt
+    return op
+
+
+def _make_stq(instruction: Stq, nxt: int, pc: int,
+              check_write: CheckHook | None) -> Op:
+    s = instruction.rs.index
+    d = instruction.rd.index
+    disp = _sext16(instruction.disp)
+    if check_write is None:
+        def op(regs, memory):
+            memory.store_quad((regs[d] + disp) & WORD_MASK, regs[s])
+            return nxt
+    else:
+        def op(regs, memory):
+            address = (regs[d] + disp) & WORD_MASK
+            check_write(address, pc)
+            memory.store_quad(address, regs[s])
+            return nxt
+    return op
+
+
+def _make_lda(instruction: Lda, nxt: int) -> Op:
+    d = instruction.rd.index
+    s = instruction.rs.index
+    disp = _sext16(instruction.disp)
+
+    def op(regs, memory):
+        regs[d] = (regs[s] + disp) & WORD_MASK
+        return nxt
+    return op
+
+
+def _make_ldah(instruction: Ldah, nxt: int) -> Op:
+    d = instruction.rd.index
+    s = instruction.rs.index
+    disp = _sext16(instruction.disp) << 16
+
+    def op(regs, memory):
+        regs[d] = (regs[s] + disp) & WORD_MASK
+        return nxt
+    return op
+
+
+def _make_br(target: int) -> Op:
+    def op(regs, memory):
+        return target
+    return op
+
+
+def _make_branch(instruction: Branch, taken: int, fallthrough: int) -> Op:
+    """Branch predicates on the unsigned register image: a value is
+    signed-negative exactly when it is >= 2^63."""
+    name = instruction.name
+    s = instruction.rs.index
+    if name == "BEQ":
+        def op(regs, memory):
+            return taken if regs[s] == 0 else fallthrough
+    elif name == "BNE":
+        def op(regs, memory):
+            return taken if regs[s] != 0 else fallthrough
+    elif name == "BGE":
+        def op(regs, memory):
+            return taken if regs[s] < _SIGN_BIT else fallthrough
+    elif name == "BLT":
+        def op(regs, memory):
+            return taken if regs[s] >= _SIGN_BIT else fallthrough
+    elif name == "BGT":
+        def op(regs, memory):
+            return taken if 0 < regs[s] < _SIGN_BIT else fallthrough
+    elif name == "BLE":
+        def op(regs, memory):
+            value = regs[s]
+            return taken if value >= _SIGN_BIT or value == 0 else fallthrough
+    else:  # pragma: no cover - Branch.__post_init__ rejects these
+        raise MachineError(f"unknown branch {name!r}")
+    return op
+
+
+# ---------------------------------------------------------------------------
+# Basic-block superinstructions.
+#
+# Every pc reachable from *outside* a block is a leader: pc 0, every
+# branch target, and the fall-through successor of every conditional
+# branch.  A block runs from a leader to the next control transfer (or
+# the next leader, or the end of the program).  Each block compiles to
+# one exec-generated function in which registers live in locals; the
+# register file is written back only at the block exit, which is sound
+# because ``run()`` never exposes its register list — a mid-block
+# exception discards it.  Instructions execute in program order inside
+# the block, so error sites, messages and ordering match the reference.
+
+_M = str(WORD_MASK)
+_S = str(_SIGN_BIT)
+
+_KNOWN_INSTRUCTIONS = (Operate, Ldq, Stq, Lda, Ldah, Branch, Br, Ret)
+
+_BRANCH_CONDITIONS = {
+    "BEQ": "{s} == 0",
+    "BNE": "{s} != 0",
+    "BGE": "{s} < " + _S,
+    "BLT": "{s} >= " + _S,
+    "BGT": "0 < {s} < " + _S,
+    "BLE": "{s} >= " + _S + " or {s} == 0",
+}
+
+
+class _BlockAssembler:
+    """Builds one block's source; registers are cached in locals."""
+
+    def __init__(self) -> None:
+        self._lines: list[str] = []
+        self._cached: set[int] = set()
+        self._dirty: set[int] = set()
+
+    def line(self, text: str) -> None:
+        self._lines.append("    " + text)
+
+    def use(self, index: int) -> str:
+        """An rvalue for register ``index``, loading it on first use."""
+        if index not in self._cached:
+            self.line(f"r{index} = regs[{index}]")
+            self._cached.add(index)
+        return f"r{index}"
+
+    def assign(self, index: int, expr: str) -> None:
+        self.line(f"r{index} = {expr}")
+        self._cached.add(index)
+        self._dirty.add(index)
+
+    def flush(self) -> None:
+        """Write every dirty local back to the register file."""
+        for index in sorted(self._dirty):
+            self.line(f"regs[{index}] = r{index}")
+        self._dirty.clear()
+
+    def render(self) -> str:
+        return "\n".join(self._lines)
+
+
+def _address_expr(asm: _BlockAssembler, base_index: int, disp: int) -> str:
+    base = asm.use(base_index)
+    if disp == 0:
+        # Register values are invariantly < 2^64, so (r + 0) & MASK == r.
+        return base
+    return f"({base} + {disp}) & {_M}"
+
+
+def _operate_expr(asm: _BlockAssembler, instruction: Operate) -> str:
+    name = instruction.name
+    a = asm.use(instruction.ra.index)
+    if isinstance(instruction.rb, Lit):
+        k = instruction.rb.value
+        if name == "ADDQ":
+            return f"({a} + {k}) & {_M}"
+        if name == "SUBQ":
+            return f"({a} - {k}) & {_M}"
+        if name == "MULQ":
+            return f"({a} * {k}) & {_M}"
+        if name == "AND":
+            return f"{a} & {k}"
+        if name == "BIS":
+            return f"{a} | {k}"
+        if name == "XOR":
+            return f"{a} ^ {k}"
+        if name == "SLL":
+            return f"({a} << {k & 63}) & {_M}"
+        if name == "SRL":
+            return f"{a} >> {k & 63}"
+        if name == "CMPEQ":
+            return f"1 if {a} == {k} else 0"
+        if name == "CMPULT":
+            return f"1 if {a} < {k} else 0"
+        if name == "CMPULE":
+            return f"1 if {a} <= {k} else 0"
+        if name == "EXTBL":
+            return f"({a} >> {8 * (k & 7)}) & 0xFF"
+        if name == "EXTWL":
+            return f"({a} >> {8 * (k & 7)}) & 0xFFFF"
+        if name == "EXTLL":
+            return f"({a} >> {8 * (k & 7)}) & 0xFFFFFFFF"
+        raise MachineError(f"unknown operate {name!r}")  # pragma: no cover
+    b = asm.use(instruction.rb.index)
+    if name == "ADDQ":
+        return f"({a} + {b}) & {_M}"
+    if name == "SUBQ":
+        return f"({a} - {b}) & {_M}"
+    if name == "MULQ":
+        return f"({a} * {b}) & {_M}"
+    if name == "AND":
+        return f"{a} & {b}"
+    if name == "BIS":
+        return f"{a} | {b}"
+    if name == "XOR":
+        return f"{a} ^ {b}"
+    if name == "SLL":
+        return f"({a} << ({b} & 63)) & {_M}"
+    if name == "SRL":
+        return f"{a} >> ({b} & 63)"
+    if name == "CMPEQ":
+        return f"1 if {a} == {b} else 0"
+    if name == "CMPULT":
+        return f"1 if {a} < {b} else 0"
+    if name == "CMPULE":
+        return f"1 if {a} <= {b} else 0"
+    if name == "EXTBL":
+        return f"({a} >> (8 * ({b} & 7))) & 0xFF"
+    if name == "EXTWL":
+        return f"({a} >> (8 * ({b} & 7))) & 0xFFFF"
+    if name == "EXTLL":
+        return f"({a} >> (8 * ({b} & 7))) & 0xFFFFFFFF"
+    raise MachineError(f"unknown operate {name!r}")  # pragma: no cover
+
+
+def _emit_straightline(asm: _BlockAssembler, instruction: Instruction,
+                       pc: int, checked_read: bool,
+                       checked_write: bool) -> None:
+    if isinstance(instruction, Operate):
+        asm.assign(instruction.rc.index, _operate_expr(asm, instruction))
+    elif isinstance(instruction, Ldq):
+        address = _address_expr(asm, instruction.rs.index,
+                                _sext16(instruction.disp))
+        if checked_read:
+            asm.line(f"_a = {address}")
+            asm.line(f"check_read(_a, {pc})")
+            address = "_a"
+        asm.assign(instruction.rd.index, f"memory.load_quad({address})")
+    elif isinstance(instruction, Stq):
+        address = _address_expr(asm, instruction.rd.index,
+                                _sext16(instruction.disp))
+        value = asm.use(instruction.rs.index)
+        if checked_write:
+            asm.line(f"_a = {address}")
+            asm.line(f"check_write(_a, {pc})")
+            address = "_a"
+        asm.line(f"memory.store_quad({address}, {value})")
+    elif isinstance(instruction, Lda):
+        asm.assign(instruction.rd.index,
+                   _address_expr(asm, instruction.rs.index,
+                                 _sext16(instruction.disp)))
+    else:  # Ldah — the only remaining straight-line kind
+        asm.assign(instruction.rd.index,
+                   _address_expr(asm, instruction.rs.index,
+                                 _sext16(instruction.disp) << 16))
+
+
+def _block_source(program: Program, leader: int, leaders: set[int],
+                  traps: dict[int, int], checked_read: bool,
+                  checked_write: bool) -> tuple[str, int]:
+    """The body of one block function and its instruction count."""
+    size = len(program)
+    asm = _BlockAssembler()
+    pc = leader
+    while True:
+        instruction = program[pc]
+        if isinstance(instruction, Branch):
+            target = pc + 1 + instruction.offset
+            taken = target if 0 <= target < size else traps[target]
+            fall = pc + 1 if pc + 1 < size else traps[size]
+            condition = _BRANCH_CONDITIONS[instruction.name].format(
+                s=asm.use(instruction.rs.index))
+            asm.flush()
+            asm.line(f"return {taken} if {condition} else {fall}")
+            return asm.render(), pc + 1 - leader
+        if isinstance(instruction, Br):
+            target = pc + 1 + instruction.offset
+            resolved = target if 0 <= target < size else traps[target]
+            asm.flush()
+            asm.line(f"return {resolved}")
+            return asm.render(), pc + 1 - leader
+        if isinstance(instruction, Ret):
+            asm.flush()
+            asm.line(f"return {_RET}")
+            return asm.render(), pc + 1 - leader
+        _emit_straightline(asm, instruction, pc, checked_read, checked_write)
+        pc += 1
+        if pc >= size:
+            # Fall off the end: the trap slot raises the reference error
+            # after the run loop's step-limit check, as the machine does.
+            asm.flush()
+            asm.line(f"return {traps[size]}")
+            return asm.render(), pc - leader
+        if pc in leaders:
+            asm.flush()
+            asm.line(f"return {pc}")
+            return asm.render(), pc - leader
+
+
+def _compile_blocks(program: Program, ops: list[Op], costs: list[int],
+                    traps: dict[int, int],
+                    check_read: CheckHook | None,
+                    check_write: CheckHook | None,
+                    ) -> tuple[list, list[int], list[int]]:
+    size = len(program)
+    blocks: list = [None] * len(ops)
+    block_len = [0] * len(ops)
+    block_cost = [0] * len(ops)
+    # Trap slots become zero-length "blocks": the run loop's step check
+    # still runs first, then the trap raises — the reference's ordering.
+    for slot in traps.values():
+        blocks[slot] = ops[slot]
+    if size == 0:
+        return blocks, block_len, block_cost
+
+    leaders = {0}
+    for pc, instruction in enumerate(program):
+        if isinstance(instruction, Branch):
+            target = pc + 1 + instruction.offset
+            if 0 <= target < size:
+                leaders.add(target)
+            if pc + 1 < size:
+                leaders.add(pc + 1)
+        elif isinstance(instruction, Br):
+            target = pc + 1 + instruction.offset
+            if 0 <= target < size:
+                leaders.add(target)
+        elif not isinstance(instruction, _KNOWN_INSTRUCTIONS):
+            leaders.add(pc)  # pragma: no cover - Instruction is closed
+
+    sources = []
+    for leader in sorted(leaders):
+        if not isinstance(program[leader], _KNOWN_INSTRUCTIONS):
+            # pragma: no cover - degenerate block over the raising closure
+            blocks[leader] = ops[leader]
+            block_len[leader] = 1
+            block_cost[leader] = costs[leader]
+            continue
+        body, length = _block_source(program, leader, leaders, traps,
+                                     check_read is not None,
+                                     check_write is not None)
+        sources.append((leader, body))
+        block_len[leader] = length
+        block_cost[leader] = sum(costs[leader:leader + length])
+
+    namespace = {"check_read": check_read, "check_write": check_write}
+    source = "\n".join(f"def _b{leader}(regs, memory):\n{body}"
+                       for leader, body in sources)
+    exec(compile(source, "<alpha-blocks>", "exec"), namespace)
+    for leader, _ in sources:
+        blocks[leader] = namespace[f"_b{leader}"]
+    return blocks, block_len, block_cost

@@ -39,6 +39,9 @@ from repro.errors import MachineError
 WORD_MASK = (1 << 64) - 1
 _SIGN_BIT = 1 << 63
 
+_unpack_from = struct.unpack_from
+_pack_into = struct.pack_into
+
 
 @dataclass
 class _Region:
@@ -52,10 +55,19 @@ class _Region:
 
 
 class Memory:
-    """Sparse region-based memory with 64-bit little-endian words."""
+    """Sparse region-based memory with 64-bit little-endian words.
+
+    Address resolution keeps a one-entry *last-hit cache*: packet filters
+    touch the same (packet or scratch) region on almost every access, so
+    the common case skips the linear region scan.  The cache holds the
+    region object itself and re-checks bounds on every use, so the
+    permission and bounds semantics are unchanged — a cached region never
+    satisfies an access the uncached scan would reject.
+    """
 
     def __init__(self) -> None:
         self._regions: list[_Region] = []
+        self._last: _Region | None = None
 
     def map_region(self, base: int, data: bytes | bytearray, *,
                    writable: bool = False, name: str = "region") -> None:
@@ -73,6 +85,36 @@ class Memory:
         self._regions.append(
             _Region(base, bytearray(data), writable, name))
 
+    def rebind_region(self, name: str, data: bytes | bytearray) -> None:
+        """Replace a region's backing bytes in place; base and
+        permissions are unchanged.
+
+        The perf harness uses this the way a kernel reuses one receive
+        buffer across packets: instead of building a fresh
+        :class:`Memory` per frame, it rebinds the packet region.  The
+        new contents may have a different length, so the non-overlap
+        invariant is re-checked against every other region.
+        """
+        target = None
+        for region in self._regions:
+            if region.name == name:
+                target = region
+                break
+        if target is None:
+            raise MachineError(f"no region named {name!r}")
+        for region in self._regions:
+            if region is target:
+                continue
+            if (target.base < region.base + len(region.data)
+                    and region.base < target.base + len(data)):
+                raise MachineError(
+                    f"region {name!r} at {target.base:#x} overlaps "
+                    f"{region.name!r}")
+        if len(target.data) == len(data):
+            target.data[:] = data
+        else:
+            target.data = bytearray(data)
+
     def region(self, name: str) -> bytearray:
         """The backing bytes of a mapped region (for test assertions)."""
         for region in self._regions:
@@ -81,8 +123,13 @@ class Memory:
         raise MachineError(f"no region named {name!r}")
 
     def _find(self, address: int, size: int) -> _Region:
+        last = self._last
+        if (last is not None and last.base <= address
+                and address + size <= last.base + len(last.data)):
+            return last
         for region in self._regions:
             if region.contains(address, size):
+                self._last = region
                 return region
         raise MachineError(f"unmapped address {address:#x} (size {size})")
 
@@ -90,20 +137,27 @@ class Memory:
         """Read the 64-bit word at ``address`` (must be 8-byte aligned)."""
         if address & 7:
             raise MachineError(f"unaligned LDQ address {address:#x}")
-        region = self._find(address, 8)
-        offset = address - region.base
-        return struct.unpack_from("<Q", region.data, offset)[0]
+        # The last-hit fast path, inlined: this is the hottest call in
+        # the perf harness and a method call per load is measurable.
+        region = self._last
+        if (region is None or address < region.base
+                or address + 8 > region.base + len(region.data)):
+            region = self._find(address, 8)
+        return _unpack_from("<Q", region.data, address - region.base)[0]
 
     def store_quad(self, address: int, value: int) -> None:
         """Write the 64-bit word at ``address`` (must be 8-byte aligned)."""
         if address & 7:
             raise MachineError(f"unaligned STQ address {address:#x}")
-        region = self._find(address, 8)
+        region = self._last
+        if (region is None or address < region.base
+                or address + 8 > region.base + len(region.data)):
+            region = self._find(address, 8)
         if not region.writable:
             raise MachineError(
                 f"write to read-only region {region.name!r} at {address:#x}")
-        struct.pack_into("<Q", region.data, address - region.base,
-                         value & WORD_MASK)
+        _pack_into("<Q", region.data, address - region.base,
+                   value & WORD_MASK)
 
 
 @dataclass(frozen=True, slots=True)

@@ -94,6 +94,39 @@ def sfi_memory(packet: bytes,
     return memory
 
 
+def reusable_sfi_memory(packet_base: int = SFI_PACKET_BASE,
+                        scratch_base: int = SFI_SCRATCH_BASE,
+                        ):
+    """One SFI-style :class:`Memory` reused across a whole trace.
+
+    Returns ``(memory, rebind)`` as
+    :func:`repro.filters.policy.reusable_packet_memory` does; ``rebind``
+    copies the packet into the resident 2048-byte segment, zeroes the
+    segment tail, and re-zeroes the scratch area.
+    """
+    if packet_base % READ_SEGMENT_SIZE:
+        raise ValueError("SFI packet base must be 2048-byte aligned")
+    memory = Memory()
+    memory.map_region(packet_base, bytes(READ_SEGMENT_SIZE),
+                      writable=False, name="packet")
+    memory.map_region(scratch_base, bytes(SCRATCH_SIZE), writable=True,
+                      name="scratch")
+    segment = memory.region("packet")
+    scratch = memory.region("scratch")
+    zero_segment = bytes(READ_SEGMENT_SIZE)
+    zero_scratch = bytes(SCRATCH_SIZE)
+
+    def rebind(packet: bytes) -> None:
+        if len(packet) > READ_SEGMENT_SIZE:
+            raise ValueError("packet larger than the SFI segment")
+        size = len(packet)
+        segment[:size] = packet
+        segment[size:] = zero_segment[size:]
+        scratch[:] = zero_scratch
+
+    return memory, rebind
+
+
 def sfi_registers(packet_length: int,
                   packet_base: int = SFI_PACKET_BASE,
                   scratch_base: int = SFI_SCRATCH_BASE) -> dict[int, int]:

@@ -56,6 +56,62 @@ class TestMemory:
         with pytest.raises(MachineError):
             memory.map_region(8, bytes(16), name="b")
 
+    def test_last_hit_cache_keeps_read_only_enforcement(self):
+        memory = Memory()
+        memory.map_region(0, bytes(8), writable=False, name="ro")
+        assert memory.load_quad(0) == 0  # primes the last-hit cache
+        with pytest.raises(MachineError):
+            memory.store_quad(0, 1)      # cached region is still read-only
+
+    def test_last_hit_cache_keeps_bounds_enforcement(self):
+        memory = Memory()
+        memory.map_region(0, bytes(8), name="a")
+        memory.map_region(0x100, bytes(8), writable=True, name="b")
+        assert memory.load_quad(0) == 0  # cache holds "a" now
+        memory.store_quad(0x100, 3)      # out of "a": must rescan to "b"
+        assert memory.load_quad(0x100) == 3
+        with pytest.raises(MachineError):
+            memory.load_quad(0x200)      # in neither region
+        with pytest.raises(MachineError):
+            memory.load_quad(0x8)        # just past "a"
+
+    def test_rebind_region_swaps_contents(self):
+        memory = Memory()
+        memory.map_region(0, struct.pack("<Q", 1), writable=True,
+                          name="buf")
+        memory.rebind_region("buf", struct.pack("<Q", 2))
+        assert memory.load_quad(0) == 2
+
+    def test_rebind_region_resize_updates_bounds(self):
+        memory = Memory()
+        memory.map_region(0, bytes(8), name="buf")
+        assert memory.load_quad(0) == 0  # primes the cache
+        memory.rebind_region("buf", bytes(16))
+        assert memory.load_quad(8) == 0  # grown: new tail is mapped
+        memory.rebind_region("buf", struct.pack("<Q", 9))
+        assert memory.load_quad(0) == 9
+        with pytest.raises(MachineError):
+            memory.load_quad(8)          # shrunk: stale bounds rejected
+
+    def test_rebind_region_rejects_overlap(self):
+        memory = Memory()
+        memory.map_region(0, bytes(8), name="a")
+        memory.map_region(16, bytes(8), name="b")
+        with pytest.raises(MachineError):
+            memory.rebind_region("a", bytes(24))  # would reach into "b"
+        assert memory.load_quad(0) == 0           # "a" unchanged
+
+    def test_rebind_region_unknown_name(self):
+        with pytest.raises(MachineError):
+            Memory().rebind_region("nope", bytes(8))
+
+    def test_rebind_region_keeps_permissions(self):
+        memory = Memory()
+        memory.map_region(0, bytes(8), writable=False, name="packet")
+        memory.rebind_region("packet", bytes(16))
+        with pytest.raises(MachineError):
+            memory.store_quad(0, 1)
+
 
 class TestExecution:
     def test_operate_semantics(self):

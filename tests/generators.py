@@ -1,0 +1,123 @@
+"""Random program generators shared by the property-based suites.
+
+Two flavours:
+
+* :func:`random_filter_source` emits assembly *source* for well-formed
+  packet filters whose memory accesses stay inside the policy's
+  guaranteed window — these usually certify, so the certification and
+  safety-theorem suites use them (``tests/pcc/test_random_programs.py``).
+* :func:`random_machine_program` emits raw instruction tuples with no
+  safety discipline at all: unsafe displacements, unaligned addresses,
+  backward branches (loops), and out-of-range branch targets.  These
+  exist to exercise every execution path — normal results, machine
+  errors, abstract-machine blocking, and the step limit — so the
+  differential engine suite can compare the reference interpreter and
+  the threaded-code engine on the full outcome space.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.alpha.isa import (
+    BRANCH_NAMES,
+    NUM_REGS,
+    OPERATE_NAMES,
+    Br,
+    Branch,
+    Lda,
+    Ldah,
+    Ldq,
+    Lit,
+    Operate,
+    Program,
+    Reg,
+    Ret,
+    Stq,
+)
+
+_SAFE_OFFSETS = (0, 8, 16, 24, 32, 40, 48, 56)
+_OPERATES = tuple(OPERATE_NAMES)
+
+#: Displacements mixing in-bounds, unaligned, and far-out-of-bounds
+#: accesses (relative to a 128-byte buffer based in r1).
+_WILD_DISPS = _SAFE_OFFSETS + (4, 12, -8, -16, 120, 128, 1024)
+
+
+def random_filter_source(rng: random.Random, blocks: int) -> str:
+    """A random well-formed filter: loads at safe constant offsets, ALU
+    scrambling, forward branches."""
+    lines = []
+    for index in range(blocks):
+        label = f"b{index}"
+        choice = rng.randrange(4)
+        reg = rng.randrange(4, 8)
+        if choice == 0:
+            lines.append(f"LDQ r{reg}, {rng.choice(_SAFE_OFFSETS)}(r1)")
+        elif choice == 1:
+            lines.append(f"ADDQ r{reg}, {rng.randrange(256)}, r{reg}")
+        elif choice == 2:
+            lines.append(
+                f"EXTBL r{reg}, {rng.randrange(8)}, r{rng.randrange(4, 8)}")
+        else:
+            lines.append(f"BEQ r{reg}, {label}")
+            lines.append(f"LDQ r{rng.randrange(4, 8)}, "
+                         f"{rng.choice(_SAFE_OFFSETS)}(r1)")
+            lines.append(f"{label}: SUBQ r0, r0, r0")
+    lines.append("CMPEQ r4, r5, r0")
+    lines.append("RET")
+    return "\n".join(lines)
+
+
+def _random_reg(rng: random.Random) -> Reg:
+    return Reg(rng.randrange(NUM_REGS))
+
+
+def _base_reg(rng: random.Random) -> Reg:
+    # Mostly r1 (the mapped buffer); sometimes arbitrary registers whose
+    # contents produce unmapped or unaligned addresses.
+    return Reg(rng.choice((1, 1, 1, 1, 2, rng.randrange(NUM_REGS))))
+
+
+def random_machine_program(rng: random.Random, length: int) -> Program:
+    """A random raw program covering the whole outcome space (see module
+    docstring); always ends in RET, but earlier RETs, loops, and invalid
+    branch targets all occur."""
+    instructions = []
+    for pc in range(length):
+        choice = rng.randrange(10)
+        if choice < 4:
+            rb = (Lit(rng.randrange(256)) if rng.random() < 0.5
+                  else _random_reg(rng))
+            instructions.append(Operate(rng.choice(_OPERATES),
+                                        _random_reg(rng), rb,
+                                        _random_reg(rng)))
+        elif choice == 4:
+            instructions.append(Ldq(_random_reg(rng),
+                                    rng.choice(_WILD_DISPS),
+                                    _base_reg(rng)))
+        elif choice == 5:
+            instructions.append(Stq(_random_reg(rng),
+                                    rng.choice(_WILD_DISPS),
+                                    _base_reg(rng)))
+        elif choice == 6:
+            instructions.append(Lda(_random_reg(rng),
+                                    rng.randrange(-64, 64),
+                                    _random_reg(rng)))
+        elif choice == 7:
+            instructions.append(Ldah(_random_reg(rng),
+                                     rng.randrange(-4, 4),
+                                     _random_reg(rng)))
+        elif choice == 8:
+            # Offsets span backward loops, forward skips, and targets
+            # past either end of the program.
+            instructions.append(Branch(rng.choice(BRANCH_NAMES),
+                                       _random_reg(rng),
+                                       rng.randrange(-4, length + 2)))
+        else:
+            if rng.random() < 0.3:
+                instructions.append(Ret())
+            else:
+                instructions.append(Br(rng.randrange(-4, length + 2)))
+    instructions.append(Ret())
+    return tuple(instructions)

@@ -23,35 +23,9 @@ from repro.filters.policy import (
     packet_memory,
 )
 from repro.pcc import certify, validate
+from tests.generators import random_filter_source as _random_program
 
 _POLICY = packet_filter_policy()
-
-_SAFE_OFFSETS = (0, 8, 16, 24, 32, 40, 48, 56)
-
-
-def _random_program(rng: random.Random, blocks: int) -> str:
-    """A random well-formed filter: loads at safe constant offsets, ALU
-    scrambling, forward branches."""
-    lines = []
-    for index in range(blocks):
-        label = f"b{index}"
-        choice = rng.randrange(4)
-        reg = rng.randrange(4, 8)
-        if choice == 0:
-            lines.append(f"LDQ r{reg}, {rng.choice(_SAFE_OFFSETS)}(r1)")
-        elif choice == 1:
-            lines.append(f"ADDQ r{reg}, {rng.randrange(256)}, r{reg}")
-        elif choice == 2:
-            lines.append(
-                f"EXTBL r{reg}, {rng.randrange(8)}, r{rng.randrange(4, 8)}")
-        else:
-            lines.append(f"BEQ r{reg}, {label}")
-            lines.append(f"LDQ r{rng.randrange(4, 8)}, "
-                         f"{rng.choice(_SAFE_OFFSETS)}(r1)")
-            lines.append(f"{label}: SUBQ r0, r0, r0")
-    lines.append("CMPEQ r4, r5, r0")
-    lines.append("RET")
-    return "\n".join(lines)
 
 
 @settings(max_examples=25, deadline=None)

@@ -1,0 +1,34 @@
+"""A small end-to-end Figure 8 run wired into tier-1.
+
+The full-size pipeline lives in ``benchmarks/`` (``--packets N`` for
+quick mode); this smoke test runs the identical code path — threaded
+engines, reusable kernel memories, oracle cross-checking — over a
+~2,000-packet trace on every test run, so a regression in the perf
+harness cannot hide until someone runs the benchmarks.
+"""
+
+from repro.filters.trace import TraceConfig, generate_trace
+from repro.perf.harness import APPROACHES, run_figure8
+
+_PACKETS = 2000
+
+
+def test_figure8_smoke():
+    trace = generate_trace(TraceConfig(packets=_PACKETS, seed=11))
+    benchmarks = run_figure8(trace)
+    assert len(benchmarks) == 4
+    for bench in benchmarks:
+        results = bench.results
+        assert set(results) == set(APPROACHES)
+        # Every approach saw every packet and they all agree (each run is
+        # oracle-checked internally; agreement here is the cross-check).
+        accepted = {result.accepted for result in results.values()}
+        assert len(accepted) == 1
+        for result in results.values():
+            assert result.packets == _PACKETS
+            assert result.instructions > 0
+            assert result.cycles >= result.instructions
+            assert result.wall_seconds > 0
+        # The paper's headline ordering survives at smoke scale.
+        assert results["pcc"].cycles_per_packet == min(
+            result.cycles_per_packet for result in results.values())
