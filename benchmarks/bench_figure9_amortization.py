@@ -26,6 +26,7 @@ from repro.baselines.m3.programs import M3_VIEW_FILTERS
 from repro.baselines.sfi.rewrite import sfi_rewrite
 from repro.filters.programs import FILTERS
 from repro.pcc import validate
+from repro.pcc.loader import ExtensionLoader
 from repro.perf import ALPHA_175, amortization_series, crossover, run_approach
 
 
@@ -64,12 +65,24 @@ def test_figure9(benchmark, trace, certified_filters, filter_policy,
     startup_us = {name: wall * 1e6 / scale
                   for name, wall in startup_wall.items()}
 
+    # Warm load: the kernel reloading an already-validated filter pays
+    # O(hash) against the loader's content-addressed cache, not the full
+    # validation startup.
+    loader = ExtensionLoader(filter_policy)
+    loader.load(blob)
+    warm_wall = min(_startup_wall(lambda: loader.load(blob))
+                    for __ in range(5))
+    warm_us = warm_wall * 1e6 / scale
+    warm_speedup = startup_wall["pcc"] / warm_wall if warm_wall else 0.0
+
     lines = [
         f"python-to-model scale: {scale:.0f}x "
         f"(native filter wall vs modeled time)",
         "startup (modeled us):  " + "  ".join(
             f"{name}={startup_us[name]:.0f}" for name in startup_us),
         f"  (paper: PCC validation 1710 us for filter 4)",
+        f"warm load (cache hit): {warm_us:.3f} modeled us — "
+        f"{warm_speedup:,.0f}x below cold validation",
         "per packet (modeled us): " + "  ".join(
             f"{name}={per_packet_us[name]:.3f}" for name in startup_us),
         "",
@@ -107,6 +120,10 @@ def test_figure9(benchmark, trace, certified_filters, filter_policy,
         "packets": len(trace),
         "scale": scale,
         "startup_modeled_us": startup_us,
+        "warm_load_modeled_us": warm_us,
+        "warm_load_wall_seconds": warm_wall,
+        "cold_startup_wall_seconds": startup_wall["pcc"],
+        "warm_load_speedup": warm_speedup,
         "per_packet_modeled_us": per_packet_us,
         "crossover_packets": crossings,
     })

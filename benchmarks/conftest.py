@@ -55,6 +55,18 @@ def trace():
 
 
 @pytest.fixture(scope="session")
+def loader_workload():
+    """Scale knobs for ``bench_loader_throughput``, derived from the
+    same ``--packets`` / ``PCC_BENCH_PACKETS`` quick-mode setting."""
+    packets = bench_packets()
+    return {
+        "warm_loads": max(200, packets),
+        "distinct_programs": min(16, max(4, packets // 1000)),
+        "batch_copies": min(64, max(4, packets // 500)),
+    }
+
+
+@pytest.fixture(scope="session")
 def filter_policy():
     return packet_filter_policy()
 

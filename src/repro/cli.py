@@ -6,6 +6,10 @@ Subcommands mirror the paper's workflow:
   emitting a PCC binary;
 * ``pcc validate <binary>`` — consumer side: recompute the safety
   predicate and type-check the proof, printing the Table 1 metrics;
+* ``pcc batch <binary>...`` — consumer side at load-heavy scale: run the
+  submissions through the extension loader (content-addressed validation
+  cache + ``multiprocessing`` pool), printing per-item verdicts and the
+  cache hit/miss/eviction counters;
 * ``pcc disasm <binary>`` — decode the native-code section;
 * ``pcc layout <binary>`` — print the Figure 7 section offsets;
 * ``pcc filter <name> <trace-size>`` — certify one of the paper's four
@@ -73,6 +77,35 @@ def _cmd_validate(args: argparse.Namespace) -> int:
         print(f"  peak heap:        {report.peak_memory_bytes / 1024:.1f} "
               f"KB")
     return 0
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    from repro.pcc.loader import ExtensionLoader
+
+    policy = _load_policy(args.policy)
+    loader = ExtensionLoader(policy, capacity=args.cache_capacity)
+    blobs = [Path(name).read_bytes() for name in args.binaries]
+    valid = 0
+    for round_number in range(args.repeat):
+        items = loader.validate_batch(blobs, processes=args.jobs)
+        if round_number:  # re-submissions only restate the verdicts
+            continue
+        for name, item in zip(args.binaries, items):
+            if item.ok:
+                valid += 1
+                source = "cache" if item.cached else "validated"
+                print(f"  VALID   {name}  "
+                      f"({item.report.instructions} instructions, "
+                      f"{source})")
+            else:
+                print(f"  INVALID {name}  ({item.error})")
+    stats = loader.stats()
+    print(f"policy {policy.name!r}: {valid}/{len(blobs)} valid")
+    print(f"cache: {stats.hits} hits, {stats.misses} misses, "
+          f"{stats.evictions} evictions over {stats.loads} loads "
+          f"({stats.hit_rate:.0%} hit rate, "
+          f"{stats.size}/{stats.capacity} entries)")
+    return 0 if valid == len(blobs) else 1
 
 
 def _cmd_disasm(args: argparse.Namespace) -> int:
@@ -151,6 +184,18 @@ def main(argv: list[str] | None = None) -> int:
     p_validate.add_argument("--memory", action="store_true",
                             help="measure peak validation heap")
     p_validate.set_defaults(fn=_cmd_validate)
+
+    p_batch = sub.add_parser(
+        "batch", help="load many binaries through the caching loader")
+    p_batch.add_argument("binaries", nargs="+")
+    p_batch.add_argument("--policy", default="packet-filter")
+    p_batch.add_argument("--jobs", type=int, default=None,
+                         help="worker processes (0 = in-process)")
+    p_batch.add_argument("--repeat", type=int, default=1,
+                         help="re-submit the batch N times (warm loads "
+                              "hit the cache)")
+    p_batch.add_argument("--cache-capacity", type=int, default=64)
+    p_batch.set_defaults(fn=_cmd_batch)
 
     p_disasm = sub.add_parser("disasm", help="decode the code section")
     p_disasm.add_argument("binary")

@@ -9,6 +9,10 @@
 * :mod:`repro.pcc.validate` — the consumer: parse the untrusted container,
   recompute the safety predicate from the code it actually received, and
   type-check the enclosed proof against it ("proof validation");
+* :mod:`repro.pcc.loader` — the kernel-side loading subsystem: a
+  content-addressed validation cache (sha256 of the binary x policy
+  fingerprint) plus parallel batch validation with per-item error
+  isolation;
 * :mod:`repro.pcc.api` — the high-level producer/consumer façade used by
   the examples.
 """
@@ -16,6 +20,12 @@
 from repro.pcc.container import PccBinary, SectionLayout
 from repro.pcc.certify import certify
 from repro.pcc.validate import validate, ValidationReport
+from repro.pcc.loader import (
+    BatchItem,
+    ExtensionLoader,
+    LoaderStats,
+    policy_fingerprint,
+)
 from repro.pcc.api import CodeProducer, CodeConsumer, LoadedExtension
 from repro.pcc.negotiate import PolicyProposal, propose_policy, accept_policy
 
@@ -25,6 +35,10 @@ __all__ = [
     "certify",
     "validate",
     "ValidationReport",
+    "BatchItem",
+    "ExtensionLoader",
+    "LoaderStats",
+    "policy_fingerprint",
     "CodeProducer",
     "CodeConsumer",
     "LoadedExtension",

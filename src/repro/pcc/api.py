@@ -22,7 +22,8 @@ from repro.errors import ValidationError
 from repro.logic.formulas import Formula
 from repro.pcc.certify import CertificationResult, certify
 from repro.pcc.container import PccBinary
-from repro.pcc.validate import ValidationReport, validate
+from repro.pcc.loader import ExtensionLoader, LoaderStats
+from repro.pcc.validate import ValidationReport
 from repro.vcgen.policy import SafetyPolicy
 
 
@@ -62,10 +63,21 @@ class LoadedExtension:
 
 @dataclass
 class CodeConsumer:
-    """A kernel/service that accepts PCC binaries under its policy."""
+    """A kernel/service that accepts PCC binaries under its policy.
+
+    Validation goes through an :class:`ExtensionLoader`, so resubmitting
+    byte-identical binaries is O(hash) — the content-addressed cache
+    replays the stored verdict (see :mod:`repro.pcc.loader` for why that
+    cannot weaken safety).
+    """
 
     policy: SafetyPolicy
     loaded: list[LoadedExtension] = field(default_factory=list)
+    cache_capacity: int = 64
+    loader: ExtensionLoader = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self.loader = ExtensionLoader(self.policy, self.cache_capacity)
 
     def install(self, data: bytes | PccBinary,
                 measure_memory: bool = False) -> LoadedExtension:
@@ -74,7 +86,7 @@ class CodeConsumer:
         Raises :class:`ValidationError` if the binary does not carry a
         valid proof for this consumer's policy.
         """
-        report = validate(data, self.policy, measure_memory)
+        report = self.loader.load(data, measure_memory)
         extension = LoadedExtension(report.program, report)
         self.loaded.append(extension)
         return extension
@@ -86,3 +98,23 @@ class CodeConsumer:
             return self.install(data)
         except ValidationError:
             return None
+
+    def install_batch(self, items, processes: int | None = None
+                      ) -> list[LoadedExtension | None]:
+        """Validate many independent submissions (cache + process pool)
+        and load the valid ones; invalid items come back as None without
+        disturbing their neighbours."""
+        extensions: list[LoadedExtension | None] = []
+        for item in self.loader.validate_batch(items, processes):
+            if item.ok:
+                extension = LoadedExtension(item.report.program,
+                                            item.report)
+                self.loaded.append(extension)
+                extensions.append(extension)
+            else:
+                extensions.append(None)
+        return extensions
+
+    def loader_stats(self) -> LoaderStats:
+        """The loader's hit/miss/eviction counters."""
+        return self.loader.stats()

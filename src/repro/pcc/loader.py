@@ -1,0 +1,345 @@
+"""Kernel-side extension loading: caching + batch validation.
+
+A kernel serving heavy traffic reloads the same few extensions
+constantly, and the paper's Figure 9 shows the whole game is amortizing
+the one-time validation cost.  This module amortizes it *across reloads*
+as well: a content-addressed cache maps
+
+    ``sha256(binary bytes)  x  policy fingerprint  ->  ValidationReport``
+
+so a re-submitted identical binary is admitted in O(hash) without
+re-running parse -> VCgen -> LF type-check.
+
+Why caching cannot weaken safety: the cache stores only consumer-side
+*verdicts*, keyed on the exact bytes received and on a fingerprint
+covering **every** field of the :class:`~repro.vcgen.policy.SafetyPolicy`
+(name, precondition, postcondition, and the semantic checker factory).
+Validation is a pure function of (bytes, precondition, postcondition):
+the same bytes under the same policy always re-derive the same safety
+predicate and the same proof-check verdict, so replaying a stored verdict
+is exactly as safe as recomputing it.  Any tampering — a flipped code
+bit, a swapped proof, an edited invariant table — changes the SHA-256 of
+the submission and therefore *misses* the cache; any policy change —
+including one negotiated at run time (:mod:`repro.pcc.negotiate`) —
+changes the fingerprint and forces a fresh validation.  Only successful
+validations are cached: rejections are cheap to reproduce and caching
+them would let a colliding key mask a later, genuinely valid submission.
+
+:class:`ExtensionLoader` also fans *independent* submissions out over a
+``multiprocessing`` pool (:meth:`ExtensionLoader.validate_batch`) with
+per-item error isolation: one bad binary rejects that item only.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.errors import ValidationError
+from repro.lf.binary import serialize_lf
+from repro.lf.encode import encode_formula
+from repro.pcc.container import PccBinary
+from repro.pcc.negotiate import PolicyProposal, accept_policy
+from repro.pcc.validate import ValidationReport, validate
+from repro.vcgen.policy import SafetyPolicy
+
+__all__ = [
+    "BatchItem",
+    "ExtensionLoader",
+    "LoaderStats",
+    "policy_fingerprint",
+]
+
+
+def policy_fingerprint(policy: SafetyPolicy) -> str:
+    """A stable content hash covering every field of ``policy``.
+
+    The precondition and postcondition are hashed through their canonical
+    LF wire encoding (deterministic; the same bytes the negotiation
+    protocol ships), so structurally equal formulas fingerprint equally
+    regardless of object identity.  ``make_checkers`` never participates
+    in validation, but it is still covered (by module-qualified name) so
+    that *no* policy-field change can ever reuse a cached verdict.
+    """
+    hasher = hashlib.sha256()
+    for part in (b"name", policy.name.encode()):
+        hasher.update(len(part).to_bytes(4, "little"))
+        hasher.update(part)
+    for formula in (policy.precondition, policy.postcondition):
+        table, stream = serialize_lf(encode_formula(formula, {}, 0))
+        for part in (table, stream):
+            hasher.update(len(part).to_bytes(4, "little"))
+            hasher.update(part)
+    checkers = policy.make_checkers
+    if checkers is None:
+        marker = b"no-semantics"
+    else:
+        marker = (f"{getattr(checkers, '__module__', '?')}."
+                  f"{getattr(checkers, '__qualname__', repr(checkers))}"
+                  ).encode()
+    hasher.update(len(marker).to_bytes(4, "little"))
+    hasher.update(marker)
+    return hasher.hexdigest()
+
+
+@dataclass(frozen=True)
+class LoaderStats:
+    """A point-in-time snapshot of the loader's counters.
+
+    ``hits + misses == loads`` always holds: every :meth:`~ExtensionLoader
+    .load` is counted exactly once, including loads that end in rejection
+    (those count as misses — rejections are never cached).
+    """
+
+    loads: int
+    hits: int
+    misses: int
+    evictions: int
+    size: int
+    capacity: int
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.loads if self.loads else 0.0
+
+
+@dataclass(frozen=True)
+class BatchItem:
+    """Per-item outcome of :meth:`ExtensionLoader.validate_batch`."""
+
+    index: int
+    report: ValidationReport | None
+    error: str | None
+    cached: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return self.report is not None
+
+    def unwrap(self) -> ValidationReport:
+        """The report, or raise the item's :class:`ValidationError`."""
+        if self.report is None:
+            raise ValidationError(self.error or "validation failed")
+        return self.report
+
+
+# The pool's worker-side policy.  Set by the fork-inherited initializer;
+# policies carry closures (``make_checkers``) and cannot be pickled, so
+# batch parallelism requires the ``fork`` start method (the initargs are
+# inherited through the forked address space, never pickled).  Where fork
+# is unavailable the loader falls back to in-process validation.
+_WORKER_POLICY: SafetyPolicy | None = None
+
+
+def _pool_init(policy: SafetyPolicy) -> None:
+    global _WORKER_POLICY
+    _WORKER_POLICY = policy
+
+
+def _pool_validate(job: tuple[int, bytes]) -> tuple[int, object, str | None]:
+    index, blob = job
+    try:
+        return index, validate(blob, _WORKER_POLICY), None
+    except ValidationError as error:
+        return index, None, str(error)
+
+
+def _fork_context():
+    if "fork" in multiprocessing.get_all_start_methods():
+        return multiprocessing.get_context("fork")
+    return None
+
+
+class ExtensionLoader:
+    """A caching, batching front end to :func:`repro.pcc.validate`.
+
+    Thread-safe: the cache and counters live behind one lock; validation
+    itself runs outside it, so concurrent cold loads overlap.
+    """
+
+    def __init__(self, policy: SafetyPolicy, capacity: int = 64) -> None:
+        if capacity < 1:
+            raise ValueError("cache capacity must be at least 1")
+        self.policy = policy
+        self.capacity = capacity
+        self.fingerprint = policy_fingerprint(policy)
+        self._cache: OrderedDict[tuple[str, str], ValidationReport] = \
+            OrderedDict()
+        self._lock = threading.Lock()
+        self._loads = 0
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    # -- keying ----------------------------------------------------------
+
+    @staticmethod
+    def _blob(data: bytes | PccBinary) -> bytes:
+        return data.to_bytes() if isinstance(data, PccBinary) else bytes(data)
+
+    def cache_key(self, data: bytes | PccBinary) -> tuple[str, str]:
+        """``(sha256(binary bytes), policy fingerprint)``."""
+        return (hashlib.sha256(self._blob(data)).hexdigest(),
+                self.fingerprint)
+
+    # -- single loads ----------------------------------------------------
+
+    def load(self, data: bytes | PccBinary,
+             measure_memory: bool = False) -> ValidationReport:
+        """Admit ``data``: O(hash) on a cache hit, full validation on a
+        miss.  Raises :class:`ValidationError` exactly as ``validate``
+        would; rejections are never cached.
+
+        ``measure_memory=True`` forces a fresh validation (a cached
+        report's tracemalloc peak would be stale) and refreshes the cache
+        entry with the newly measured report.
+        """
+        blob = self._blob(data)
+        key = self.cache_key(blob)
+        with self._lock:
+            self._loads += 1
+            if not measure_memory:
+                cached = self._cache.get(key)
+                if cached is not None:
+                    self._cache.move_to_end(key)
+                    self._hits += 1
+                    return cached
+            self._misses += 1
+        report = validate(blob, self.policy, measure_memory)
+        self._store(key, report)
+        return report
+
+    def _store(self, key: tuple[str, str], report: ValidationReport) -> None:
+        with self._lock:
+            if key in self._cache:
+                self._cache.move_to_end(key)
+                self._cache[key] = report
+                return
+            self._cache[key] = report
+            while len(self._cache) > self.capacity:
+                self._cache.popitem(last=False)
+                self._evictions += 1
+
+    # -- batch loads -----------------------------------------------------
+
+    def validate_batch(self, items, processes: int | None = None
+                       ) -> list[BatchItem]:
+        """Validate many independent submissions, fanning cache misses
+        out over a ``multiprocessing`` pool.
+
+        Returns one :class:`BatchItem` per input, in input order.  Errors
+        are isolated per item: a bad binary yields ``error`` on its own
+        item and never disturbs its neighbours.  ``processes=0`` (or a
+        platform without the ``fork`` start method) validates serially
+        in-process; results are identical either way.
+        """
+        blobs = [self._blob(item) for item in items]
+        results: list[BatchItem | None] = [None] * len(blobs)
+        # Within-batch dedup: byte-identical submissions validate once;
+        # every duplicate index shares the one verdict.
+        key_indices: dict[tuple[str, str], list[int]] = {}
+        pending: list[tuple[tuple[str, str], bytes]] = []
+        with self._lock:
+            for index, blob in enumerate(blobs):
+                key = self.cache_key(blob)
+                self._loads += 1
+                cached = self._cache.get(key)
+                if cached is not None:
+                    self._cache.move_to_end(key)
+                    self._hits += 1
+                    results[index] = BatchItem(index, cached, None,
+                                               cached=True)
+                    continue
+                self._misses += 1
+                if key not in key_indices:
+                    key_indices[key] = []
+                    pending.append((key, blob))
+                key_indices[key].append(index)
+
+        jobs = [(job_id, blob)
+                for job_id, (__, blob) in enumerate(pending)]
+        context = _fork_context()
+        if processes is None:
+            processes = min(len(jobs), multiprocessing.cpu_count())
+        if len(jobs) < 2 or processes < 2 or context is None:
+            outcomes = [_serial_validate(self.policy, job) for job in jobs]
+        else:
+            with context.Pool(processes, initializer=_pool_init,
+                              initargs=(self.policy,)) as pool:
+                outcomes = pool.map(_pool_validate, jobs)
+
+        for job_id, report, error in outcomes:
+            key = pending[job_id][0]
+            if report is not None:
+                self._store(key, report)
+            for index in key_indices[key]:
+                if report is not None:
+                    results[index] = BatchItem(index, report, None)
+                else:
+                    results[index] = BatchItem(index, None, error)
+        return results
+
+    # -- management ------------------------------------------------------
+
+    def evict(self, data: bytes | PccBinary) -> bool:
+        """Explicitly drop the cache entry for ``data``; True if present."""
+        key = self.cache_key(data)
+        with self._lock:
+            if key in self._cache:
+                del self._cache[key]
+                self._evictions += 1
+                return True
+            return False
+
+    def clear(self) -> int:
+        """Drop every entry; returns how many were evicted."""
+        with self._lock:
+            dropped = len(self._cache)
+            self._cache.clear()
+            self._evictions += dropped
+            return dropped
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._cache)
+
+    def __contains__(self, data: bytes | PccBinary) -> bool:
+        key = self.cache_key(data)
+        with self._lock:
+            return key in self._cache
+
+    def stats(self) -> LoaderStats:
+        with self._lock:
+            return LoaderStats(self._loads, self._hits, self._misses,
+                               self._evictions, len(self._cache),
+                               self.capacity)
+
+    # -- negotiation -----------------------------------------------------
+
+    def negotiate(self, proposal: PolicyProposal | bytes,
+                  capacity: int | None = None) -> "ExtensionLoader":
+        """Accept a run-time policy proposal (paper §4) and return a
+        fresh loader bound to the negotiated policy.
+
+        The negotiated policy's fingerprint necessarily differs from this
+        loader's (its precondition differs, and the fingerprint covers
+        it), so verdicts cached here can never leak across: the new
+        loader starts cold and every binary re-validates under the new
+        contract.
+        """
+        negotiated = accept_policy(self.policy, proposal)
+        return ExtensionLoader(negotiated,
+                               self.capacity if capacity is None
+                               else capacity)
+
+
+def _serial_validate(policy: SafetyPolicy, job: tuple[int, bytes]
+                     ) -> tuple[int, ValidationReport | None, str | None]:
+    index, blob = job
+    try:
+        return index, validate(blob, policy), None
+    except ValidationError as error:
+        return index, None, str(error)

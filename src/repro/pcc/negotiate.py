@@ -26,6 +26,7 @@ vocabulary.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 
 from repro.errors import CertificationError, PccError, ValidationError
@@ -62,6 +63,21 @@ class PolicyProposal:
             out += _varint(len(section))
             out += section
         return bytes(out)
+
+    def digest(self) -> str:
+        """Content address of the proposal (sha256 over its sections).
+
+        Mirrors the loader's keying discipline
+        (:func:`repro.pcc.loader.policy_fingerprint`): two proposals with
+        the same digest carry byte-identical preconditions and proofs, so
+        a consumer may cache its accept/reject decision on this key.
+        """
+        hasher = hashlib.sha256()
+        for section in (self.precondition_table, self.precondition_stream,
+                        self.proof_table, self.proof_stream):
+            hasher.update(len(section).to_bytes(4, "little"))
+            hasher.update(section)
+        return hasher.hexdigest()
 
     @classmethod
     def from_bytes(cls, data: bytes) -> "PolicyProposal":
@@ -109,6 +125,12 @@ def accept_policy(base: SafetyPolicy,
 
     Raises :class:`ValidationError` if the enclosed proof does not
     establish ``BasePre => P`` for the enclosed ``P``.
+
+    The returned policy has a different loader fingerprint than ``base``
+    whenever ``P`` differs from ``BasePre`` (the fingerprint covers the
+    precondition bytes), so any :class:`repro.pcc.loader.ExtensionLoader`
+    cache entries made under the old contract can never satisfy a load
+    under the new one.
     """
     if isinstance(proposal, bytes):
         proposal = PolicyProposal.from_bytes(proposal)

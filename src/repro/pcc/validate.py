@@ -35,6 +35,12 @@ from repro.pcc.container import PccBinary, unpack_invariants, unpack_proof
 from repro.vcgen.policy import SafetyPolicy
 from repro.vcgen.vcgen import safety_predicate
 
+#: ``validation_seconds`` must come from a monotonic clock: the loader's
+#: cached-vs-cold comparisons and the Figure 9 startup column subtract
+#: timestamps, and a wall clock (``time.time``) stepping backwards under
+#: NTP adjustment would make those deltas negative.
+_CLOCK = time.perf_counter
+
 
 @dataclass(frozen=True)
 class ValidationReport:
@@ -62,7 +68,7 @@ def validate(data: bytes | PccBinary, policy: SafetyPolicy,
     raises :class:`ValidationError` otherwise.  ``measure_memory`` turns on
     tracemalloc around the check (costs time; used by the Table 1 bench).
     """
-    started = time.perf_counter()
+    started = _CLOCK()
     if measure_memory:
         tracemalloc.start()
     try:
@@ -105,7 +111,7 @@ def validate(data: bytes | PccBinary, policy: SafetyPolicy,
             tracemalloc.stop()
         else:
             peak = 0
-    elapsed = time.perf_counter() - started
+    elapsed = _CLOCK() - started
     return ValidationReport(
         program=program,
         predicate=predicate,

@@ -15,7 +15,13 @@ model from here, and the harness imports the baselines.)
 """
 
 from repro.perf.cost import AlphaCostModel, ALPHA_175, BPF_DISPATCH_CYCLES
-from repro.perf.amortize import AmortizationPoint, amortization_series, crossover
+from repro.perf.amortize import (
+    AmortizationPoint,
+    amortization_series,
+    crossover,
+    effective_startup,
+    reload_series,
+)
 
 __all__ = [
     "AlphaCostModel",
@@ -30,6 +36,8 @@ __all__ = [
     "AmortizationPoint",
     "amortization_series",
     "crossover",
+    "effective_startup",
+    "reload_series",
 ]
 
 _HARNESS_NAMES = ("ApproachResult", "FilterBenchmark", "run_figure8",

@@ -41,3 +41,31 @@ def crossover(startup_a: float, per_packet_a: float,
     if per_packet_a >= per_packet_b:
         return None
     return (startup_a - startup_b) / (per_packet_b - per_packet_a)
+
+
+def effective_startup(cold_startup: float, warm_startup: float,
+                      reloads: int) -> float:
+    """Average per-admission startup when one cold validation is followed
+    by cache-hit reloads (the extension loader's amortization axis:
+    Figure 9 amortizes validation against *packets*, this amortizes it
+    against *reloads* of the same binary)."""
+    if reloads < 1:
+        raise ValueError("need at least one load")
+    return (cold_startup + (reloads - 1) * warm_startup) / reloads
+
+
+def reload_series(cold_startup: float, warm_startup: float,
+                  max_reloads: int,
+                  points: int = 50) -> list[AmortizationPoint]:
+    """Cumulative admission cost against reload count — the warm-cache
+    analogue of :func:`amortization_series` (``packets`` counts reloads;
+    the first admission is cold, the rest hit the cache)."""
+    if points < 2:
+        raise ValueError("need at least two points")
+    series = []
+    for step in range(points):
+        reloads = round(step * max_reloads / (points - 1))
+        cumulative = 0.0 if reloads == 0 else \
+            cold_startup + (reloads - 1) * warm_startup
+        series.append(AmortizationPoint(reloads, cumulative))
+    return series

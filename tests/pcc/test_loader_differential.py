@@ -1,0 +1,117 @@
+"""Differential loader tests: cached and batched paths vs. cold validate.
+
+Hypothesis drives ``tests/generators.py`` filter programs through both
+admission paths:
+
+* cold ``validate()`` vs. warm ``loader.load()`` — the cached verdict
+  must carry the *same* program and safety predicate;
+* batch-parallel vs. sequential — item-for-item identical outcomes,
+  including exactly which items fail validation and with equivalent
+  verdicts for duplicated submissions.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.filters.policy import packet_filter_policy
+from repro.pcc import certify, validate
+from repro.pcc.loader import ExtensionLoader
+from tests.generators import random_filter_source
+
+_POLICY = packet_filter_policy()
+
+
+def _certified_blob(rng: random.Random, blocks: int) -> bytes:
+    source = random_filter_source(rng, blocks)
+    return certify(source, _POLICY).binary.to_bytes()
+
+
+def _corrupt(rng: random.Random, blob: bytes) -> bytes:
+    """One of the adversarial mutations: code flip, truncation, or
+    section garbage — all must be rejected identically on every path."""
+    choice = rng.randrange(3)
+    if choice == 0:
+        mutated = bytearray(blob)
+        position = 20 + rng.randrange(16)  # inside the code section
+        mutated[position] ^= 1 << rng.randrange(8)
+        return bytes(mutated)
+    if choice == 1:
+        return blob[:-1 - rng.randrange(8)]
+    return blob[:24] + bytes(rng.randrange(256)
+                             for __ in range(len(blob) - 24))
+
+
+@settings(max_examples=8, deadline=None)
+@given(st.integers(min_value=0, max_value=2**32 - 1),
+       st.integers(min_value=1, max_value=4))
+def test_warm_load_equals_cold_validate(seed, blocks):
+    rng = random.Random(seed)
+    blob = _certified_blob(rng, blocks)
+
+    cold = validate(blob, _POLICY)
+    loader = ExtensionLoader(_POLICY)
+    first = loader.load(blob)
+    warm = loader.load(blob)
+
+    assert warm is first  # the second load really came from the cache
+    assert loader.stats().hits == 1
+    for report in (first, warm):
+        assert report.program == cold.program
+        assert report.predicate == cold.predicate
+        assert report.code_bytes == cold.code_bytes
+        assert report.proof_bytes == cold.proof_bytes
+        assert report.binary_bytes == cold.binary_bytes
+
+
+@settings(max_examples=5, deadline=None)
+@given(st.integers(min_value=0, max_value=2**32 - 1))
+def test_batch_parallel_identical_to_sequential(seed):
+    rng = random.Random(seed)
+    blobs = []
+    for __ in range(3):
+        blob = _certified_blob(rng, 1 + rng.randrange(3))
+        blobs.append(blob)
+        if rng.random() < 0.5:
+            blobs.append(_corrupt(rng, blob))
+    blobs.append(blobs[0])  # a within-batch duplicate
+
+    sequential = ExtensionLoader(_POLICY).validate_batch(blobs,
+                                                         processes=0)
+    parallel = ExtensionLoader(_POLICY).validate_batch(blobs,
+                                                       processes=2)
+
+    assert len(sequential) == len(parallel) == len(blobs)
+    for seq, par in zip(sequential, parallel):
+        assert seq.index == par.index
+        assert seq.ok == par.ok  # identical accept/reject per item
+        if seq.ok:
+            assert seq.report.program == par.report.program
+            assert seq.report.predicate == par.report.predicate
+        else:
+            assert seq.error and par.error
+
+    # which items fail must match a plain cold-validate sweep too
+    for index, blob in enumerate(blobs):
+        try:
+            validate(blob, _POLICY)
+            cold_ok = True
+        except Exception:
+            cold_ok = False
+        assert sequential[index].ok == cold_ok
+
+
+@settings(max_examples=5, deadline=None)
+@given(st.integers(min_value=0, max_value=2**32 - 1))
+def test_resubmitted_batch_is_pure_cache_and_identical(seed):
+    rng = random.Random(seed)
+    blobs = [_certified_blob(rng, 1 + rng.randrange(2))
+             for __ in range(2)]
+    loader = ExtensionLoader(_POLICY)
+    first = loader.validate_batch(blobs, processes=0)
+    second = loader.validate_batch(blobs, processes=0)
+    for a, b in zip(first, second):
+        assert b.cached and not a.cached
+        assert b.report is a.report
+    stats = loader.stats()
+    assert stats.hits == len(blobs) and stats.misses == len(blobs)

@@ -1,0 +1,151 @@
+"""LRU + counter properties of the loader cache, and thread safety.
+
+Real validation is irrelevant to the cache's bookkeeping, so these
+suites monkeypatch ``repro.pcc.loader.validate`` with a cheap stub and
+drive the cache with synthetic byte strings: Hypothesis checks the LRU
+against a reference model; a ``ThreadPoolExecutor`` hammer checks the
+counter algebra and capacity bound under interleaving.
+"""
+
+from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
+from unittest import mock
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+import repro.pcc.loader as loader_module
+from repro.pcc.loader import ExtensionLoader
+from repro.vcgen.policy import SafetyPolicy
+from repro.logic.formulas import Truth
+
+_POLICY = SafetyPolicy("lru-test", Truth())
+
+
+class _StubReport:
+    """Stands in for a ValidationReport; identity marks which
+    validation run produced it."""
+
+    def __init__(self, blob):
+        self.blob = blob
+
+
+def _stub_validate(blob, policy, measure_memory=False):
+    return _StubReport(blob)
+
+
+@pytest.fixture()
+def stubbed(monkeypatch):
+    monkeypatch.setattr(loader_module, "validate", _stub_validate)
+
+
+def _blob(value: int) -> bytes:
+    return b"extension-%d" % value
+
+
+class TestLruProperties:
+    @settings(max_examples=200, deadline=None)
+    @given(st.integers(min_value=1, max_value=5),
+           st.lists(st.integers(min_value=0, max_value=7), max_size=40))
+    def test_matches_reference_model(self, capacity, sequence):
+        """Drive the loader and a textbook OrderedDict LRU with the same
+        load sequence; hits, evictions, contents, and order must agree."""
+        with mock.patch.object(loader_module, "validate", _stub_validate):
+            loader = ExtensionLoader(_POLICY, capacity=capacity)
+            model: OrderedDict[bytes, None] = OrderedDict()
+            hits = evictions = 0
+            for value in sequence:
+                blob = _blob(value)
+                loader.load(blob)
+                if blob in model:
+                    model.move_to_end(blob)
+                    hits += 1
+                else:
+                    model[blob] = None
+                    if len(model) > capacity:
+                        model.popitem(last=False)
+                        evictions += 1
+            stats = loader.stats()
+            assert stats.loads == len(sequence)
+            assert stats.hits == hits
+            assert stats.misses == len(sequence) - hits
+            assert stats.evictions == evictions
+            assert stats.size == len(model) <= capacity
+            assert [key[0] for key in loader._cache] == [
+                loader.cache_key(blob)[0] for blob in model]
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=5), min_size=1,
+                    max_size=30))
+    def test_counters_sum(self, sequence):
+        with mock.patch.object(loader_module, "validate", _stub_validate):
+            loader = ExtensionLoader(_POLICY, capacity=3)
+            for value in sequence:
+                loader.load(_blob(value))
+            stats = loader.stats()
+            assert stats.hits + stats.misses == stats.loads \
+                == len(sequence)
+            assert stats.evictions == stats.misses - stats.size
+
+    def test_eviction_order_is_lru_not_fifo(self, stubbed):
+        """Touching an old entry must save it: insertion order alone
+        would evict it."""
+        loader = ExtensionLoader(_POLICY, capacity=2)
+        loader.load(_blob(1))
+        loader.load(_blob(2))
+        loader.load(_blob(1))       # refresh 1 → 2 is now the LRU entry
+        loader.load(_blob(3))       # evicts 2
+        assert _blob(1) in loader and _blob(3) in loader
+        assert _blob(2) not in loader
+        loader.load(_blob(1))
+        assert loader.stats().hits == 2  # the refresh and the last load
+
+
+class TestThreadSafety:
+    def test_hammer(self, stubbed):
+        """Interleaved loads from many threads: the capacity bound and
+        the counter algebra must survive arbitrary interleavings."""
+        capacity, keys, threads, per_thread = 4, 12, 8, 200
+        loader = ExtensionLoader(_POLICY, capacity=capacity)
+
+        def worker(seed: int) -> int:
+            state = seed
+            for step in range(per_thread):
+                state = (state * 1103515245 + 12345) & 0x7FFFFFFF
+                loader.load(_blob(state % keys))
+            return seed
+
+        with ThreadPoolExecutor(max_workers=threads) as pool:
+            list(pool.map(worker, range(threads)))
+
+        stats = loader.stats()
+        assert stats.loads == threads * per_thread
+        assert stats.hits + stats.misses == stats.loads
+        assert stats.size <= capacity
+        assert len(loader) <= capacity
+        # every store is a miss; whatever was stored and isn't resident
+        # was evicted (concurrent same-key misses re-store, not evict)
+        assert stats.evictions <= stats.misses - stats.size
+
+    def test_hammer_with_interleaved_evictions(self, stubbed):
+        loader = ExtensionLoader(_POLICY, capacity=3)
+
+        def loads(seed: int) -> None:
+            for step in range(150):
+                loader.load(_blob((seed + step) % 9))
+
+        def evicts(seed: int) -> None:
+            for step in range(150):
+                loader.evict(_blob((seed * 7 + step) % 9))
+                if step % 50 == 0:
+                    loader.clear()
+
+        with ThreadPoolExecutor(max_workers=6) as pool:
+            futures = [pool.submit(loads, n) for n in range(4)]
+            futures += [pool.submit(evicts, n) for n in range(2)]
+            for future in futures:
+                future.result()
+
+        stats = loader.stats()
+        assert stats.hits + stats.misses == stats.loads == 4 * 150
+        assert stats.size <= 3

@@ -101,3 +101,30 @@ class TestAcceptancePath:
                                                 resource_certified):
         report = validate(resource_certified.binary, resource_policy)
         assert report.instructions == 7
+
+
+class TestMonotonicTiming:
+    """``validation_seconds`` must come from a monotonic clock (the
+    loader's cached-vs-cold comparisons and Figure 9 subtract it)."""
+
+    def test_clock_is_perf_counter(self):
+        import importlib
+        import time
+
+        validate_module = importlib.import_module("repro.pcc.validate")
+        assert validate_module._CLOCK is time.perf_counter
+
+    def test_wall_clock_step_cannot_go_negative(self, monkeypatch,
+                                                resource_policy,
+                                                resource_certified):
+        """Simulate NTP stepping time.time() backwards mid-validation:
+        the reported duration must stay non-negative regardless."""
+        import time as time_module
+
+        backwards = iter([2_000_000_000.0, 1_000_000_000.0,
+                          999_999_999.0])
+        monkeypatch.setattr(time_module, "time",
+                            lambda: next(backwards, 0.0))
+        report = validate(resource_certified.binary.to_bytes(),
+                          resource_policy)
+        assert report.validation_seconds >= 0.0

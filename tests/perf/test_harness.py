@@ -100,6 +100,26 @@ class TestAmortization:
         assert crossover(12, 1, 0, 4) == pytest.approx(4.0)
         assert crossover(12, 4, 0, 1) is None
 
+    def test_effective_startup_amortizes_toward_warm_cost(self):
+        from repro.perf import effective_startup
+
+        assert effective_startup(100.0, 1.0, 1) == 100.0
+        assert effective_startup(100.0, 1.0, 100) == pytest.approx(1.99)
+        # monotone: more reloads -> cheaper effective startup
+        costs = [effective_startup(100.0, 1.0, n) for n in (1, 10, 1000)]
+        assert costs == sorted(costs, reverse=True)
+        with pytest.raises(ValueError):
+            effective_startup(100.0, 1.0, 0)
+
+    def test_reload_series_shape(self):
+        from repro.perf import reload_series
+
+        series = reload_series(10.0, 0.5, 100, points=5)
+        assert [point.packets for point in series] == [0, 25, 50, 75, 100]
+        assert series[0].cumulative == 0.0  # nothing loaded yet
+        assert series[1].cumulative == pytest.approx(10.0 + 24 * 0.5)
+        assert series[-1].cumulative == pytest.approx(10.0 + 99 * 0.5)
+
     def test_crossover_ordering_matches_paper(self, tiny_trace):
         """Figure 9: crossover vs BPF earliest, then M3, then SFI."""
         spec = FILTERS[3]  # filter4, as in the paper

@@ -44,6 +44,32 @@ class TestCli:
         assert main(["validate", str(bad),
                      "--policy", "packet-filter"]) == 1
 
+    def test_batch_valid_and_cache_stats(self, certified_file, capsys):
+        assert main(["batch", str(certified_file), str(certified_file),
+                     "--policy", "packet-filter", "--jobs", "0",
+                     "--repeat", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "2/2 valid" in out
+        assert "cache:" in out and "hits" in out and "evictions" in out
+        # 4 loads (2 binaries x 2 rounds): round 1 misses (the dup is
+        # deduplicated but still a miss), round 2 is pure cache
+        assert "2 hits, 2 misses" in out
+
+    def test_batch_isolates_bad_item(self, certified_file, tmp_path,
+                                     capsys):
+        bad = tmp_path / "bad.pcc"
+        bad.write_bytes(b"\x00" * 30)
+        assert main(["batch", str(certified_file), str(bad),
+                     "--policy", "packet-filter", "--jobs", "0"]) == 1
+        out = capsys.readouterr().out
+        assert "VALID" in out and "INVALID" in out
+        assert "1/2 valid" in out
+
+    def test_batch_through_pool(self, certified_file, capsys):
+        assert main(["batch", str(certified_file),
+                     "--policy", "packet-filter"]) == 0
+        assert "1/1 valid" in capsys.readouterr().out
+
     def test_disasm(self, certified_file, capsys):
         assert main(["disasm", str(certified_file)]) == 0
         out = capsys.readouterr().out
