@@ -38,13 +38,13 @@ def make_check_hooks(can_read: AddressPredicate,
         if address & 7 or not can_read(address):
             raise SafetyViolation(
                 f"rd({address:#x}) check failed at pc={pc}",
-                pc=pc, address=address)
+                pc=pc, address=address, kind="rd")
 
     def check_write(address: int, pc: int) -> None:
         if address & 7 or not can_write(address):
             raise SafetyViolation(
                 f"wr({address:#x}) check failed at pc={pc}",
-                pc=pc, address=address)
+                pc=pc, address=address, kind="wr")
 
     return check_read, check_write
 
@@ -98,10 +98,10 @@ class AbstractMachine(Machine):
         if address & 7 or not self._can_read(address):
             raise SafetyViolation(
                 f"rd({address:#x}) check failed at pc={pc}",
-                pc=pc, address=address)
+                pc=pc, address=address, kind="rd")
 
     def _check_write(self, address: int, pc: int) -> None:
         if address & 7 or not self._can_write(address):
             raise SafetyViolation(
                 f"wr({address:#x}) check failed at pc={pc}",
-                pc=pc, address=address)
+                pc=pc, address=address, kind="wr")

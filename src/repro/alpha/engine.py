@@ -77,7 +77,7 @@ from repro.alpha.isa import (
     Stq,
 )
 from repro.alpha.machine import MachineResult, Memory, WORD_MASK, _sext16
-from repro.errors import MachineError
+from repro.errors import BudgetExceeded, MachineError
 
 _SIGN_BIT = 1 << 63
 
@@ -216,8 +216,55 @@ class ExecutionEngine:
             if pc < 0:
                 return MachineResult(regs[0], steps, cycles)
 
+    def run_budgeted(self, memory: Memory,
+                     registers: dict[int, int] | None = None,
+                     cycle_budget: int = 1_000_000) -> MachineResult:
+        """Like :meth:`run`, but raise :class:`BudgetExceeded` as soon as
+        the modeled cycle clock passes ``cycle_budget``.
+
+        The check runs at block granularity (one comparison per block, so
+        the fast path stays fast); an invocation that completes within
+        budget returns a result bit-identical to :meth:`run`.  Overruns
+        are detected when a block's decode-time cycle charge pushes the
+        clock past the budget — before the block executes, so a runaway
+        loop is cut off within one block of the budget line.  The
+        step-limit backstop still applies, for cost models that charge
+        zero cycles.
+        """
+        regs = [0] * NUM_REGS
+        if registers:
+            for index, value in registers.items():
+                regs[index] = value & WORD_MASK
+        code = self._code
+        blocks = code.blocks
+        block_len = code.block_len
+        block_cost = code.block_cost
+        max_steps = self.max_steps
+        pc = 0
+        steps = 0
+        cycles = 0
+        while True:
+            if steps >= max_steps:
+                raise MachineError(
+                    f"exceeded {max_steps} steps (runaway program?)")
+            length = block_len[pc]
+            if steps + length > max_steps:
+                return self._run_stepwise(regs, memory, pc, steps, cycles,
+                                          cycle_budget)
+            cycles += block_cost[pc]
+            if cycles > cycle_budget:
+                raise BudgetExceeded(
+                    f"exceeded cycle budget {cycle_budget} "
+                    f"({cycles} cycles after {steps} steps)",
+                    budget=cycle_budget, cycles=cycles, steps=steps)
+            steps += length
+            pc = blocks[pc](regs, memory)
+            if pc < 0:
+                return MachineResult(regs[0], steps, cycles)
+
     def _run_stepwise(self, regs: list, memory: Memory, pc: int,
-                      steps: int, cycles: int) -> MachineResult:
+                      steps: int, cycles: int,
+                      cycle_budget: int | None = None) -> MachineResult:
         """Per-instruction execution for the last block before the step
         limit; at most ``max_steps - steps`` instructions run here."""
         ops = self._ops
@@ -228,6 +275,11 @@ class ExecutionEngine:
                 raise MachineError(
                     f"exceeded {max_steps} steps (runaway program?)")
             cycles += costs[pc]
+            if cycle_budget is not None and cycles > cycle_budget:
+                raise BudgetExceeded(
+                    f"exceeded cycle budget {cycle_budget} "
+                    f"({cycles} cycles after {steps} steps)",
+                    budget=cycle_budget, cycles=cycles, steps=steps)
             steps += 1
             pc = ops[pc](regs, memory)
             if pc < 0:

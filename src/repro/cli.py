@@ -10,6 +10,10 @@ Subcommands mirror the paper's workflow:
   submissions through the extension loader (content-addressed validation
   cache + ``multiprocessing`` pool), printing per-item verdicts and the
   cache hit/miss/eviction counters;
+* ``pcc serve <binary>...`` — the dispatch plane: attach extensions
+  through the loader, replay a synthetic trace across sharded workers
+  with cycle budgets and fault quarantine, and print per-extension
+  telemetry (``--json`` dumps the stats snapshot);
 * ``pcc disasm <binary>`` — decode the native-code section;
 * ``pcc layout <binary>`` — print the Figure 7 section offsets;
 * ``pcc filter <name> <trace-size>`` — certify one of the paper's four
@@ -108,6 +112,75 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     return 0 if valid == len(blobs) else 1
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.filters.packets import inject_faults
+    from repro.filters.trace import TraceConfig, generate_trace, replay_trace
+    from repro.runtime import PacketRuntime, RuntimeConfig
+
+    policy = _load_policy(args.policy)
+    config = RuntimeConfig(
+        shards=args.shards,
+        cycle_budget=args.budget,
+        fault_threshold=args.fault_threshold,
+        downgrade_unproven=args.downgrade,
+        enforce_contract=not args.no_contract,
+    )
+    runtime = PacketRuntime(policy, config)
+
+    submissions: list[tuple[str, bytes]] = [
+        (Path(name).stem, Path(name).read_bytes())
+        for name in args.binaries
+    ]
+    if args.builtin_filters:
+        from repro.filters.programs import FILTERS
+        from repro.pcc import certify
+        for spec in FILTERS:
+            submissions.append(
+                (spec.name, certify(spec.source, policy).binary.to_bytes()))
+    if not submissions:
+        raise SystemExit("nothing to serve: pass PCC binaries or "
+                         "--builtin-filters")
+    for name, blob in submissions:
+        try:
+            extension = runtime.attach(name, blob)
+        except PccError as error:
+            print(f"  REJECTED {name}: {error}")
+            continue
+        tier = "checked (downgraded)" if extension.checked else "unchecked"
+        print(f"  ATTACHED {name}: {len(extension.program)} instructions, "
+              f"{tier}")
+    if not runtime.extensions:
+        raise SystemExit("no extension was admitted")
+
+    trace = generate_trace(TraceConfig(packets=args.packets, seed=args.seed))
+    if args.inject_faults:
+        inject_faults(trace, fraction=args.inject_faults)
+    report = runtime.serve(replay_trace(trace, args.repeat))
+
+    snapshot = runtime.snapshot()
+    model = config.cost_model
+    print(f"\nserved {report.packets} packets over {config.shards} "
+          f"shard(s) ({report.contract_drops} contract drops)")
+    print(f"  modeled:  {report.modeled_packets_per_second:,.0f} pkts/s "
+          f"at {model.clock_mhz:.0f} MHz "
+          f"({report.modeled_seconds * 1e3:.1f} ms)")
+    print(f"  python:   {report.wall_packets_per_second:,.0f} pkts/s "
+          f"wall ({report.wall_seconds * 1e3:.1f} ms)")
+    print(f"\n{'extension':12} {'state':12} {'in':>9} {'accept':>9} "
+          f"{'fault':>6} {'p50cy':>7} {'p99cy':>7}")
+    for extension in snapshot.extensions:
+        print(f"{extension.name:12} {extension.state:12} "
+              f"{extension.packets_in:>9} {extension.accepted:>9} "
+              f"{extension.faults:>6} {extension.p50_cycles:>7.0f} "
+              f"{extension.p99_cycles:>7.0f}"
+              + (f"  [{extension.last_fault}]"
+                 if extension.last_fault else ""))
+    if args.json:
+        Path(args.json).write_text(snapshot.to_json() + "\n")
+        print(f"\nstats snapshot -> {args.json}")
+    return 0
+
+
 def _cmd_disasm(args: argparse.Namespace) -> int:
     from repro.alpha.encoding import decode_program
     from repro.alpha.parser import format_program
@@ -196,6 +269,33 @@ def main(argv: list[str] | None = None) -> int:
                               "hit the cache)")
     p_batch.add_argument("--cache-capacity", type=int, default=64)
     p_batch.set_defaults(fn=_cmd_batch)
+
+    p_serve = sub.add_parser(
+        "serve", help="dispatch a packet trace through loaded extensions")
+    p_serve.add_argument("binaries", nargs="*",
+                         help="PCC binaries to attach (name = file stem)")
+    p_serve.add_argument("--builtin-filters", action="store_true",
+                         help="certify + attach the paper's four filters")
+    p_serve.add_argument("--policy", default="packet-filter")
+    p_serve.add_argument("--packets", type=int, default=10_000)
+    p_serve.add_argument("--repeat", type=int, default=1,
+                         help="replay the trace N times")
+    p_serve.add_argument("--seed", type=int, default=19961028)
+    p_serve.add_argument("--shards", type=int, default=4)
+    p_serve.add_argument("--budget", type=int, default=None,
+                         help="per-invocation cycle budget")
+    p_serve.add_argument("--fault-threshold", type=int, default=3,
+                         help="consecutive faults before quarantine")
+    p_serve.add_argument("--downgrade", action="store_true",
+                         help="run unproven binaries on the checked tier")
+    p_serve.add_argument("--no-contract", action="store_true",
+                         help="do not drop contract-violating frames")
+    p_serve.add_argument("--inject-faults", type=float, default=0.0,
+                         metavar="FRACTION",
+                         help="corrupt this fraction of the trace")
+    p_serve.add_argument("--json", metavar="PATH",
+                         help="write the stats snapshot as JSON")
+    p_serve.set_defaults(fn=_cmd_serve)
 
     p_disasm = sub.add_parser("disasm", help="decode the code section")
     p_disasm.add_argument("binary")

@@ -34,13 +34,38 @@ class SafetyViolation(MachineError):
     In the paper's semantics the abstract machine has no transition for this
     case; we surface it as an exception so tests can assert that uncertified
     code blocks and certified code never does.
+
+    ``pc``, ``address`` and ``kind`` (``"rd"`` or ``"wr"``) identify the
+    faulting access so that consumers — notably the dispatch runtime's
+    quarantine log — can report *which* check failed and where.
     """
 
     def __init__(self, message: str, pc: int | None = None,
-                 address: int | None = None) -> None:
+                 address: int | None = None,
+                 kind: str | None = None) -> None:
         super().__init__(message)
         self.pc = pc
         self.address = address
+        self.kind = kind
+
+
+class BudgetExceeded(MachineError):
+    """An invocation overran its per-packet cycle budget.
+
+    Raised by :meth:`repro.alpha.engine.ExecutionEngine.run_budgeted`
+    when the modeled cycle clock passes the caller's budget.  This is a
+    *liveness* policy, not a safety one: a PCC-certified program can
+    never violate rd()/wr(), but nothing in the proof bounds how long it
+    runs, so the dispatch runtime enforces budgets at retire time.
+    """
+
+    def __init__(self, message: str, budget: int | None = None,
+                 cycles: int | None = None,
+                 steps: int | None = None) -> None:
+        super().__init__(message)
+        self.budget = budget
+        self.cycles = cycles
+        self.steps = steps
 
 
 class LogicError(PccError):

@@ -128,6 +128,94 @@ def make_arp_packet(sender_ip: str, target_ip: str,
     return make_ethernet(ETHERTYPE_ARP, arp)
 
 
+# -- fault injection (hostile-workload helpers) -----------------------------
+#
+# The dispatch runtime's robustness tests need frames that break the
+# kernel/filter contract in the three interesting ways: frames *shorter*
+# than the 64-byte minimum the precondition promises (r2 >= 64), frames
+# *longer* than the Ethernet MTU a receive buffer would hold, and frames
+# whose length/offset fields lie about the bytes actually present.  The
+# builders above refuse to produce such frames, so these helpers mutate
+# well-formed ones after the fact — exactly what a hostile or broken NIC
+# driver would hand the kernel.
+
+def truncate_frame(frame: bytes, length: int = 32) -> bytes:
+    """Cut ``frame`` below the 64-byte minimum the filter precondition
+    relies on.  A filter certified under ``r2 >= 64`` may read past the
+    end of such a frame — which is precisely the fault the runtime must
+    contain when a caller violates the invocation contract."""
+    if not 0 < length < MIN_FRAME:
+        raise ValueError(f"truncation length {length} is not below the "
+                         f"{MIN_FRAME}-byte minimum")
+    return frame[:length]
+
+
+def oversize_frame(frame: bytes, length: int = MAX_FRAME + 512) -> bytes:
+    """Zero-pad ``frame`` past the Ethernet MTU (a jumbo/mis-DMA frame).
+    Certified filters handle any length safely, but a kernel enforcing
+    its receive-buffer contract should drop these at the boundary."""
+    if length <= MAX_FRAME:
+        raise ValueError(f"oversize length {length} does not exceed the "
+                         f"{MAX_FRAME}-byte MTU")
+    return frame + b"\x00" * (length - len(frame))
+
+
+def adversarial_ihl_frame(frame: bytes, ihl_words: int = 15) -> bytes:
+    """Rewrite the IP header-length nibble to ``ihl_words`` without
+    growing the frame (and without fixing the checksum): the header
+    claims more bytes than the frame carries, so any filter that trusts
+    the IHL field to compute an offset reads out of bounds.  The paper's
+    Filter 4 bounds-checks the derived offset against ``r2`` and must
+    reject such frames instead of faulting."""
+    if not 0 <= ihl_words <= 15:
+        raise ValueError(f"IHL must fit in a nibble, got {ihl_words}")
+    if len(frame) <= IP_OFFSET:
+        raise ValueError("frame too short to carry an IP header")
+    mutated = bytearray(frame)
+    mutated[IP_OFFSET] = (4 << 4) | ihl_words
+    return bytes(mutated)
+
+
+#: The fault kinds :func:`inject_faults` knows how to synthesize.
+FAULT_KINDS = ("truncated", "oversized", "adversarial-ihl")
+
+
+def inject_faults(trace: list[bytes], fraction: float = 0.05,
+                  kinds: tuple[str, ...] = FAULT_KINDS,
+                  seed: int = 0xFA017) -> list[tuple[int, str]]:
+    """Corrupt a deterministic ``fraction`` of ``trace`` in place.
+
+    Returns ``(index, kind)`` for every corrupted frame so tests know
+    exactly which packets were sabotaged.  The RNG is seeded, so the
+    same call on the same trace always corrupts the same frames the
+    same way.
+    """
+    import random
+
+    if not 0 <= fraction <= 1:
+        raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+    for kind in kinds:
+        if kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {kind!r}; choose from "
+                             f"{FAULT_KINDS}")
+    rng = random.Random(seed)
+    count = int(len(trace) * fraction)
+    injected = []
+    for index in sorted(rng.sample(range(len(trace)), count)):
+        kind = rng.choice(kinds)
+        if kind == "truncated":
+            trace[index] = truncate_frame(trace[index],
+                                          rng.randrange(8, MIN_FRAME))
+        elif kind == "oversized":
+            trace[index] = oversize_frame(
+                trace[index], MAX_FRAME + rng.randrange(8, 1024))
+        else:
+            trace[index] = adversarial_ihl_frame(trace[index],
+                                                 rng.randrange(6, 16))
+        injected.append((index, kind))
+    return injected
+
+
 # -- parsing helpers (used by the oracles) ----------------------------------
 
 def ethertype_of(frame: bytes) -> int:

@@ -97,3 +97,18 @@ def generate_trace(config: TraceConfig | None = None) -> list[bytes]:
     config = config or TraceConfig()
     rng = random.Random(config.seed)
     return [generate_packet(rng, config) for __ in range(config.packets)]
+
+
+def replay_trace(trace: list[bytes], repeats: int = 1):
+    """Yield ``trace`` end to end ``repeats`` times.
+
+    The dispatch runtime (:mod:`repro.runtime`) takes any iterable of
+    frames; replaying a captured trace several times is how the paper's
+    "busy Ethernet network" workload is stretched into sustained load
+    without regenerating (or holding) more frames than one trace's
+    worth.
+    """
+    if repeats < 1:
+        raise ValueError(f"repeats must be positive, got {repeats}")
+    for __ in range(repeats):
+        yield from trace

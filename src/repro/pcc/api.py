@@ -14,7 +14,10 @@ memory, exactly as the kernel would jump into mapped code.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Mapping
+from typing import TYPE_CHECKING, Mapping
+
+if TYPE_CHECKING:
+    from repro.alpha.engine import ExecutionEngine
 
 from repro.alpha.isa import Program
 from repro.alpha.machine import Machine, MachineResult, Memory
@@ -59,6 +62,19 @@ class LoadedExtension:
         machine = Machine(self.program, memory,
                           dict(registers or {}), cost_model)
         return machine.run()
+
+    def engine(self, cost_model=None,
+               max_steps: int = 1_000_000) -> "ExecutionEngine":
+        """A reusable threaded-code engine over the validated program.
+
+        This is the handle the dispatch runtime (:mod:`repro.runtime`)
+        keeps per extension: translation is paid once (and shared via
+        the engine's global code cache), after which every invocation is
+        the bare closure loop with zero checks.
+        """
+        from repro.alpha.engine import ExecutionEngine
+
+        return ExecutionEngine(self.program, cost_model, max_steps)
 
 
 @dataclass

@@ -1,0 +1,44 @@
+"""The kernel packet-dispatch runtime (the layer above admission).
+
+The paper's bargain is one-time validation, then native speed forever —
+but "forever" happens inside a kernel that is serving traffic from many
+extensions at once.  This package is that kernel's dispatch plane:
+
+* :mod:`repro.runtime.runtime` — :class:`PacketRuntime`: admission only
+  through the PR 2 extension loader (proven code runs unchecked;
+  unproven code is rejected or, opt-in, downgraded to the checked
+  Figure 3 tier), sharded dispatch, quarantine, reinstatement;
+* :mod:`repro.runtime.shard` — one modeled core: private reusable
+  memory, private cycle clock, the per-packet hot loop;
+* :mod:`repro.runtime.extension` — per-extension state machine
+  (ACTIVE → QUARANTINED → REINSTATED) and lock-free sharded counters;
+* :mod:`repro.runtime.telemetry` — latency reservoirs, percentiles and
+  the JSON stats snapshot behind ``pcc serve --json``;
+* :mod:`repro.runtime.config` — :class:`RuntimeConfig` knobs (shards,
+  cycle budgets, fault thresholds, contract enforcement).
+"""
+
+from repro.runtime.config import RuntimeConfig
+from repro.runtime.extension import ExtensionState, RuntimeExtension
+from repro.runtime.runtime import DispatchReport, PacketRuntime
+from repro.runtime.shard import Shard, fault_reason
+from repro.runtime.telemetry import (
+    ExtensionSnapshot,
+    LatencyReservoir,
+    RuntimeSnapshot,
+    percentile,
+)
+
+__all__ = [
+    "DispatchReport",
+    "ExtensionSnapshot",
+    "ExtensionState",
+    "LatencyReservoir",
+    "PacketRuntime",
+    "RuntimeConfig",
+    "RuntimeExtension",
+    "RuntimeSnapshot",
+    "Shard",
+    "fault_reason",
+    "percentile",
+]

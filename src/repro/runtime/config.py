@@ -1,0 +1,57 @@
+"""Dispatch-runtime configuration.
+
+The defaults encode the paper's packet-filter invocation contract: a
+reusable kernel memory with packet + scratch regions and the r1/r2/r3
+register convention.  Both are swappable callables, so the runtime can
+host any policy whose invocation contract can be expressed as "build a
+memory once, rebind it per packet, derive entry registers from the
+frame".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.filters.packets import MAX_FRAME, MIN_FRAME
+from repro.filters.policy import filter_registers, reusable_packet_memory
+from repro.perf.cost import ALPHA_175, AlphaCostModel
+
+
+@dataclass(frozen=True)
+class RuntimeConfig:
+    """Knobs for :class:`repro.runtime.PacketRuntime`.
+
+    ``shards``            modeled cores (worker threads in :meth:`serve`)
+    ``cycle_budget``      per-invocation cycle cap; ``None`` disables —
+                          overruns fault the extension (liveness policy)
+    ``fault_threshold``   consecutive faults before quarantine; ``None``
+                          never quarantines
+    ``downgrade_unproven``  admit proof-less binaries onto the *checked*
+                          abstract-machine path instead of rejecting
+    ``enforce_contract``  drop frames outside [min_frame_bytes,
+                          max_frame_bytes] at the boundary — the kernel's
+                          half of the precondition bargain (r2 >= 64)
+    """
+
+    shards: int = 1
+    cycle_budget: int | None = None
+    fault_threshold: int | None = 3
+    downgrade_unproven: bool = False
+    enforce_contract: bool = True
+    min_frame_bytes: int = MIN_FRAME
+    max_frame_bytes: int = MAX_FRAME
+    cost_model: AlphaCostModel = field(default_factory=lambda: ALPHA_175)
+    max_steps: int = 1_000_000
+    cache_capacity: int = 64
+    reservoir_capacity: int = 512
+    memory_factory: Callable = reusable_packet_memory
+    registers_fn: Callable[[int], dict] = filter_registers
+
+    def __post_init__(self) -> None:
+        if self.shards < 1:
+            raise ValueError("need at least one shard")
+        if self.cycle_budget is not None and self.cycle_budget < 1:
+            raise ValueError("cycle budget must be positive")
+        if self.fault_threshold is not None and self.fault_threshold < 1:
+            raise ValueError("fault threshold must be positive")

@@ -1,0 +1,155 @@
+"""Per-extension runtime state: counters, fault ledger, quarantine.
+
+An attached extension carries two kinds of state with very different
+access patterns:
+
+* **hot counters** (packets, verdicts, cycles, latency samples) are
+  bumped on every dispatch.  They are sharded: each worker owns one
+  :class:`ShardCounters` and touches nothing else, so the hot path takes
+  no locks.  A snapshot merges the shards.
+* **the state machine** (ACTIVE → QUARANTINED → REINSTATED) changes only
+  on faults and operator action, so transitions sit behind a lock and
+  the dispatch loop reads a single ``active`` boolean.
+
+Consecutive-fault accounting is global across shards — "this extension
+faulted N times in a row, runtime-wide" — because quarantine is a
+runtime-wide decision.  The counter is only *written* on the fault path
+and on the first success after a fault, so steady-state dispatch never
+touches it.
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+import zlib
+from dataclasses import dataclass
+
+from repro.alpha.engine import ExecutionEngine
+from repro.alpha.isa import Program
+from repro.pcc.validate import ValidationReport
+from repro.runtime.telemetry import (
+    ExtensionSnapshot,
+    LatencyReservoir,
+    percentile,
+)
+
+
+class ExtensionState(enum.Enum):
+    """The quarantine state machine.
+
+    ACTIVE        serving packets (initial state after admission)
+    QUARANTINED   isolated after ``fault_threshold`` consecutive faults;
+                  skipped by every shard until reinstated
+    REINSTATED    serving again after revalidation — behaviourally
+                  ACTIVE, kept distinct so telemetry shows the history
+    """
+
+    ACTIVE = "active"
+    QUARANTINED = "quarantined"
+    REINSTATED = "reinstated"
+
+
+@dataclass
+class ShardCounters:
+    """One shard's private counters for one extension (no locking)."""
+
+    packets_in: int = 0
+    accepted: int = 0
+    faults: int = 0
+    cycles: int = 0
+    reservoir: LatencyReservoir | None = None
+
+
+class RuntimeExtension:
+    """A loaded extension as the dispatch runtime sees it.
+
+    ``engine`` is the shared unchecked fast-path engine (PCC-proven code
+    needs no checks, so one stateless engine serves every shard).
+    ``checked`` extensions instead carry one engine *per shard* — the
+    rd()/wr() hooks consult shard-local predicates — installed by the
+    runtime via :meth:`bind_shard_engines`.
+    """
+
+    def __init__(self, name: str, blob: bytes, digest: str,
+                 program: Program, report: ValidationReport | None,
+                 checked: bool, shards: int,
+                 reservoir_capacity: int) -> None:
+        self.name = name
+        self.blob = blob
+        self.digest = digest
+        self.program = program
+        self.report = report
+        self.checked = checked
+        self.engine: ExecutionEngine | None = None
+        self.shard_engines: list[ExecutionEngine] | None = None
+        self.state = ExtensionState.ACTIVE
+        self.active = True
+        self.quarantines = 0
+        self.consecutive_faults = 0
+        self.last_fault: str | None = None
+        self._lock = threading.Lock()
+        # Reservoir seeds must survive process restarts (PYTHONHASHSEED
+        # varies), so derive them from a stable CRC, not str.__hash__.
+        name_seed = zlib.crc32(name.encode()) & 0xFFFF
+        self.shard_counters = [
+            ShardCounters(reservoir=LatencyReservoir(
+                reservoir_capacity, seed=name_seed ^ index))
+            for index in range(shards)
+        ]
+
+    # -- fault ledger ----------------------------------------------------
+
+    def record_fault(self, reason: str, threshold: int | None) -> bool:
+        """Count one fault; returns True when this fault crossed the
+        quarantine threshold (the caller logs the transition)."""
+        with self._lock:
+            self.consecutive_faults += 1
+            self.last_fault = reason
+            if (threshold is not None and self.active
+                    and self.consecutive_faults >= threshold):
+                self.state = ExtensionState.QUARANTINED
+                self.active = False
+                self.quarantines += 1
+                return True
+            return False
+
+    def record_success(self) -> None:
+        """Reset the consecutive-fault run (called only when nonzero)."""
+        with self._lock:
+            self.consecutive_faults = 0
+
+    def reinstate(self) -> None:
+        with self._lock:
+            self.state = ExtensionState.REINSTATED
+            self.active = True
+            self.consecutive_faults = 0
+            self.last_fault = None
+
+    # -- aggregation -----------------------------------------------------
+
+    def snapshot(self) -> ExtensionSnapshot:
+        packets_in = accepted = faults = cycles = 0
+        samples: list[int] = []
+        for counters in self.shard_counters:
+            packets_in += counters.packets_in
+            accepted += counters.accepted
+            faults += counters.faults
+            cycles += counters.cycles
+            if counters.reservoir is not None:
+                samples.extend(counters.reservoir.samples)
+        return ExtensionSnapshot(
+            name=self.name,
+            state=self.state.value,
+            checked=self.checked,
+            packets_in=packets_in,
+            accepted=accepted,
+            rejected=packets_in - accepted - faults,
+            faults=faults,
+            consecutive_faults=self.consecutive_faults,
+            quarantines=self.quarantines,
+            cycles=cycles,
+            p50_cycles=percentile(samples, 0.50),
+            p99_cycles=percentile(samples, 0.99),
+            last_fault=self.last_fault,
+        )

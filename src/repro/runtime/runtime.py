@@ -1,0 +1,301 @@
+"""The kernel packet-dispatch runtime (the layer above admission).
+
+PR 2 built the admission path — :class:`repro.pcc.loader.ExtensionLoader`
+turns untrusted bytes into validated programs.  This module is the
+*dispatch* path: what the kernel does with admitted extensions while
+traffic is flowing, and what happens when one of them misbehaves.
+
+Admission (:meth:`PacketRuntime.attach`) goes only through the loader.
+A submission that validates runs on the raw threaded-code engine with
+**zero per-packet checks** — the paper's whole point.  A submission that
+fails validation is rejected, or — when the operator opts in with
+``downgrade_unproven`` — admitted onto the *checked* abstract-machine
+path (Figure 3 semantics), paying rd()/wr() hooks on every memory
+instruction.  That downgrade tier is exactly the world PCC removes; the
+runtime keeps it around both as a fairness baseline and because a kernel
+fleet mid-rollout realistically hosts a mix.
+
+Dispatch fans the packet stream across :class:`~repro.runtime.shard
+.Shard` workers — modeled cores with private memories and cycle clocks
+— and each shard runs every active extension over each of its packets.
+Robustness is policy, not hope:
+
+* **cycle budgets** — an invocation that overruns its budget faults
+  (liveness is not covered by the safety proof);
+* **fault thresholds** — ``fault_threshold`` *consecutive* faults flip
+  an extension ACTIVE → QUARANTINED: every shard skips it from the next
+  packet on, and the remaining extensions' verdicts are untouched
+  (dispatch is per-extension independent, so isolation is exact);
+* **reinstatement** — :meth:`reinstate` re-admits a quarantined
+  extension through the loader (content-addressed, so revalidation of
+  unchanged bytes is O(hash)); success moves it to REINSTATED.  An
+  unproven extension stays on the checked tier unless its bytes now
+  validate, in which case reinstatement *promotes* it to the unchecked
+  fast path.
+
+Telemetry is first-class: per-extension counters and latency
+percentiles, per-shard cycle clocks, and a JSON-serializable snapshot
+(surfaced by ``pcc serve --json``).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+
+from repro.alpha.encoding import decode_program
+from repro.alpha.engine import ExecutionEngine
+from repro.alpha.abstract import make_check_hooks
+from repro.errors import PccError, ValidationError
+from repro.pcc.container import PccBinary
+from repro.pcc.loader import ExtensionLoader
+from repro.runtime.config import RuntimeConfig
+from repro.runtime.extension import ExtensionState, RuntimeExtension
+from repro.runtime.shard import Shard
+from repro.runtime.telemetry import RuntimeSnapshot
+from repro.vcgen.policy import SafetyPolicy
+
+
+@dataclass(frozen=True)
+class DispatchReport:
+    """Outcome of one :meth:`PacketRuntime.dispatch`/:meth:`serve` call."""
+
+    packets: int
+    contract_drops: int
+    wall_seconds: float
+    shard_cycles: tuple[int, ...]
+    clock_mhz: float
+    records: list[dict] | None = None
+
+    @property
+    def modeled_seconds(self) -> float:
+        if not self.shard_cycles:
+            return 0.0
+        return max(self.shard_cycles) / (self.clock_mhz * 1e6)
+
+    @property
+    def modeled_packets_per_second(self) -> float:
+        seconds = self.modeled_seconds
+        return self.packets / seconds if seconds else 0.0
+
+    @property
+    def wall_packets_per_second(self) -> float:
+        return self.packets / self.wall_seconds if self.wall_seconds else 0.0
+
+
+class PacketRuntime:
+    """A simulated in-kernel dispatch plane over PCC-admitted extensions.
+
+    Thread-safety contract: :meth:`attach`, :meth:`detach` and
+    :meth:`reinstate` are control-plane calls — make them while no
+    :meth:`serve` is in flight.  :meth:`serve` itself runs one worker
+    thread per shard; all hot-path state is shard-private.
+    """
+
+    def __init__(self, policy: SafetyPolicy,
+                 config: RuntimeConfig | None = None) -> None:
+        self.policy = policy
+        self.config = config or RuntimeConfig()
+        self.loader = ExtensionLoader(policy, self.config.cache_capacity)
+        self.shards = [Shard(index, self.config)
+                       for index in range(self.config.shards)]
+        self._extensions: dict[str, RuntimeExtension] = {}
+        self._lock = threading.Lock()
+        self.contract_drops = 0
+
+    # -- admission (the only way in is through the loader) ---------------
+
+    def attach(self, name: str, data: bytes | PccBinary
+               ) -> RuntimeExtension:
+        """Admit ``data`` as extension ``name``.
+
+        PCC-validated submissions get the unchecked fast path.  On
+        :class:`ValidationError`, the submission is rejected unless
+        ``config.downgrade_unproven`` — then it is admitted onto the
+        checked abstract-machine tier (a decodable code section is still
+        required; garbage is rejected regardless).
+        """
+        if name in self._extensions:
+            raise ValueError(f"extension {name!r} already attached")
+        blob = data.to_bytes() if isinstance(data, PccBinary) else bytes(data)
+        digest = self.loader.cache_key(blob)[0]
+        config = self.config
+        try:
+            report = self.loader.load(blob)
+        except ValidationError:
+            if not config.downgrade_unproven:
+                raise
+            extension = self._attach_checked(name, blob, digest)
+        else:
+            extension = RuntimeExtension(
+                name, blob, digest, report.program, report,
+                checked=False, shards=config.shards,
+                reservoir_capacity=config.reservoir_capacity)
+            extension.engine = ExecutionEngine(
+                report.program, config.cost_model, config.max_steps)
+        self._extensions[name] = extension
+        return extension
+
+    def _attach_checked(self, name: str, blob: bytes,
+                        digest: str) -> RuntimeExtension:
+        """The downgrade tier: decode the code section and bake this
+        runtime's per-shard rd()/wr() hooks into a checked engine per
+        shard (Figure 3 semantics at dispatch time)."""
+        try:
+            program = decode_program(PccBinary.from_bytes(blob).code)
+        except PccError as error:
+            raise ValidationError(
+                f"cannot downgrade {name!r}: undecodable code section "
+                f"({error})") from error
+        extension = RuntimeExtension(
+            name, blob, digest, program, report=None, checked=True,
+            shards=self.config.shards,
+            reservoir_capacity=self.config.reservoir_capacity)
+        extension.shard_engines = [
+            ExecutionEngine(program, self.config.cost_model,
+                            self.config.max_steps,
+                            *make_check_hooks(shard.can_read,
+                                              shard.can_write))
+            for shard in self.shards
+        ]
+        return extension
+
+    def detach(self, name: str) -> None:
+        del self._extensions[name]
+
+    def extension(self, name: str) -> RuntimeExtension:
+        return self._extensions[name]
+
+    @property
+    def extensions(self) -> list[RuntimeExtension]:
+        return list(self._extensions.values())
+
+    # -- quarantine control ----------------------------------------------
+
+    def reinstate(self, name: str) -> RuntimeExtension:
+        """Revalidate and re-admit a quarantined extension.
+
+        The bytes go back through the loader: unchanged proven bytes hit
+        the content-addressed cache (O(hash)); an unproven extension
+        whose bytes *now* validate is promoted to the unchecked fast
+        path; an unproven extension that still fails validation returns
+        to the checked tier (it was admissible there to begin with).
+        """
+        extension = self._extensions[name]
+        if extension.state is not ExtensionState.QUARANTINED:
+            raise ValueError(f"extension {name!r} is not quarantined "
+                             f"(state: {extension.state.value})")
+        try:
+            report = self.loader.load(extension.blob)
+        except ValidationError:
+            if not extension.checked:
+                raise  # proven bytes failing revalidation: refuse
+        else:
+            if extension.checked:
+                extension.checked = False
+                extension.shard_engines = None
+                extension.report = report
+                extension.program = report.program
+                extension.engine = ExecutionEngine(
+                    report.program, self.config.cost_model,
+                    self.config.max_steps)
+        extension.reinstate()
+        return extension
+
+    # -- dispatch ---------------------------------------------------------
+
+    def dispatch(self, frames, collect: bool = False) -> DispatchReport:
+        """Serial dispatch (deterministic round-robin shard assignment).
+
+        The semantics reference for :meth:`serve`: identical verdicts
+        and counters, packet order preserved in the collected records.
+        """
+        frames = list(frames)
+        kept, drops = self._apply_contract(frames)
+        self.contract_drops += drops
+        extensions = self.extensions
+        shards = self.shards
+        count = len(shards)
+        before = [shard.cycles for shard in shards]
+        started = time.perf_counter()
+        if collect:
+            records = []
+            for index, frame in enumerate(kept):
+                shard = shards[index % count]
+                records.extend(shard.dispatch([frame], extensions,
+                                              self.policy, collect=True))
+        else:
+            records = None
+            for index in range(count):
+                shards[index].dispatch(kept[index::count], extensions,
+                                       self.policy)
+        wall = time.perf_counter() - started
+        return DispatchReport(
+            packets=len(kept), contract_drops=drops, wall_seconds=wall,
+            shard_cycles=tuple(shard.cycles - prior for shard, prior
+                               in zip(shards, before)),
+            clock_mhz=self.config.cost_model.clock_mhz, records=records)
+
+    def serve(self, frames) -> DispatchReport:
+        """Threaded dispatch: one worker per shard, frames interleaved
+        round-robin so the modeled cores stay balanced.
+
+        Wall time is the host's (GIL-bound on CPython); the modeled
+        throughput — packets over the busiest shard clock — is the
+        figure of merit, as everywhere else in this reproduction.
+        """
+        frames = list(frames)
+        kept, drops = self._apply_contract(frames)
+        self.contract_drops += drops
+        extensions = self.extensions
+        shards = self.shards
+        count = len(shards)
+        before = [shard.cycles for shard in shards]
+        workers = [
+            threading.Thread(
+                target=shard.dispatch,
+                args=(kept[index::count], extensions, self.policy),
+                name=f"pcc-shard-{index}", daemon=True)
+            for index, shard in enumerate(shards)
+        ]
+        started = time.perf_counter()
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+        wall = time.perf_counter() - started
+        return DispatchReport(
+            packets=len(kept), contract_drops=drops, wall_seconds=wall,
+            shard_cycles=tuple(shard.cycles - prior for shard, prior
+                               in zip(shards, before)),
+            clock_mhz=self.config.cost_model.clock_mhz)
+
+    def _apply_contract(self, frames: list) -> tuple[list, int]:
+        config = self.config
+        if not config.enforce_contract:
+            return frames, 0
+        low = config.min_frame_bytes
+        high = config.max_frame_bytes
+        kept = [frame for frame in frames if low <= len(frame) <= high]
+        return kept, len(frames) - len(kept)
+
+    # -- telemetry --------------------------------------------------------
+
+    def snapshot(self, extra: dict | None = None) -> RuntimeSnapshot:
+        extensions = tuple(extension.snapshot()
+                           for extension in self.extensions)
+        return RuntimeSnapshot(
+            shards=len(self.shards),
+            extensions=extensions,
+            packets_in=sum(shard.packets for shard in self.shards),
+            dispatches=sum(ext.packets_in for ext in extensions),
+            faults=sum(ext.faults for ext in extensions),
+            contract_drops=self.contract_drops,
+            shard_cycles=tuple(shard.cycles for shard in self.shards),
+            clock_mhz=self.config.cost_model.clock_mhz,
+            extra=extra or {},
+        )
+
+    def stats_json(self, indent: int | None = 2) -> str:
+        return self.snapshot().to_json(indent)

@@ -1,0 +1,135 @@
+"""One dispatch shard: a modeled kernel core with its own memory.
+
+A shard owns everything the per-packet hot path touches — a reusable
+:class:`~repro.alpha.machine.Memory` (rebinding the packet region per
+invocation, exactly as the perf harness does), the invocation-contract
+callables, and a **cycle clock**.  The clock is the shard's modeled
+core: dispatching a packet advances it by the invocation's cost-model
+cycles, so N shards fed disjoint packet slices model N cores draining
+the stream in parallel.  Runtime-wide modeled throughput is therefore
+``packets / (busiest clock / frequency)`` regardless of how many host
+threads the simulation itself gets — the same cycles-first metric
+discipline as :mod:`repro.perf`.
+
+The dispatch chain runs every *active* extension over every packet (the
+kernel-tap model: think several attached packet filters, each getting
+its own look).  PCC-proven extensions run on the shared unchecked
+engine; downgraded extensions run on this shard's checked engine, whose
+rd()/wr() hooks consult predicates rebound per packet from the policy's
+``make_checkers``.
+"""
+
+from __future__ import annotations
+
+from repro.errors import BudgetExceeded, MachineError, SafetyViolation
+
+
+def fault_reason(error: MachineError) -> str:
+    """A one-line quarantine-log reason naming the fault precisely."""
+    if isinstance(error, SafetyViolation):
+        kind = error.kind or "rd/wr"
+        return (f"{kind} violation at pc={error.pc} "
+                f"address={error.address:#x}" if error.address is not None
+                else f"{kind} violation at pc={error.pc}")
+    if isinstance(error, BudgetExceeded):
+        return (f"cycle budget exceeded ({error.cycles} cycles, "
+                f"budget {error.budget})")
+    return f"machine fault: {error}"
+
+
+class Shard:
+    """One worker's dispatch state; see the module docstring."""
+
+    def __init__(self, index: int, config) -> None:
+        self.index = index
+        self.config = config
+        self.memory, self.rebind = config.memory_factory()
+        self.registers_fn = config.registers_fn
+        self.cycles = 0
+        self.packets = 0
+        # Checked-path predicates, rebound per packet by _bind_checkers;
+        # the per-shard checked engines' decode-time hooks delegate here.
+        self._can_read = None
+        self._can_write = None
+
+    # -- checked-path support --------------------------------------------
+
+    def can_read(self, address: int) -> bool:
+        return self._can_read is not None and self._can_read(address)
+
+    def can_write(self, address: int) -> bool:
+        return self._can_write is not None and self._can_write(address)
+
+    def bind_checkers(self, policy, registers: dict[int, int]) -> None:
+        """Derive this packet's rd()/wr() predicates from the policy's
+        semantic interpretation (the abstract machine's view)."""
+        if policy.make_checkers is None:
+            self._can_read = self._can_write = None
+            return
+        self._can_read, self._can_write = policy.make_checkers(
+            registers, self.memory.load_quad)
+
+    # -- the hot loop ----------------------------------------------------
+
+    def dispatch(self, frames, extensions, policy,
+                 collect: bool = False) -> list[dict] | None:
+        """Run ``frames`` through every active extension.
+
+        Returns per-frame ``{extension name: verdict}`` dicts when
+        ``collect`` (verdict ``None`` means the invocation faulted;
+        quarantined extensions are absent), else ``None`` — the
+        benchmark path keeps only counters.
+        """
+        config = self.config
+        budget = config.cycle_budget
+        threshold = config.fault_threshold
+        shard_index = self.index
+        rebind = self.rebind
+        registers_fn = self.registers_fn
+        memory = self.memory
+        records = [] if collect else None
+        for frame in frames:
+            self.packets += 1
+            verdicts = {} if collect else None
+            for extension in extensions:
+                if not extension.active:
+                    continue
+                counters = extension.shard_counters[shard_index]
+                rebind(frame)
+                registers = registers_fn(len(frame))
+                if extension.checked:
+                    self.bind_checkers(policy, registers)
+                    engine = extension.shard_engines[shard_index]
+                else:
+                    engine = extension.engine
+                counters.packets_in += 1
+                try:
+                    if budget is None:
+                        result = engine.run(memory, registers)
+                    else:
+                        result = engine.run_budgeted(memory, registers,
+                                                     budget)
+                except MachineError as error:
+                    counters.faults += 1
+                    if isinstance(error, BudgetExceeded):
+                        # The overrun consumed modeled time up to the
+                        # point the budget tripped; other faults are
+                        # modeled as instantaneous aborts.
+                        counters.cycles += error.cycles
+                        self.cycles += error.cycles
+                    extension.record_fault(fault_reason(error), threshold)
+                    if collect:
+                        verdicts[extension.name] = None
+                    continue
+                counters.cycles += result.cycles
+                counters.reservoir.add(result.cycles)
+                self.cycles += result.cycles
+                verdict = bool(result.value)
+                counters.accepted += verdict
+                if extension.consecutive_faults:
+                    extension.record_success()
+                if collect:
+                    verdicts[extension.name] = verdict
+            if collect:
+                records.append(verdicts)
+        return records

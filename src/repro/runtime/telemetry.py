@@ -1,0 +1,160 @@
+"""Runtime telemetry: latency reservoirs and stats snapshots.
+
+A kernel dispatch plane is only operable if it can answer "which
+extension is slow / faulting / quarantined" without perturbing the hot
+path.  Counters here are therefore *per shard per extension* — each
+worker bumps plain integers it exclusively owns — and aggregation
+happens only when a snapshot is taken.
+
+Latency percentiles use reservoir sampling (algorithm R) with a seeded
+RNG per reservoir, so snapshots are deterministic for a deterministic
+packet assignment: the same trace through the same shard layout always
+reports the same p50/p99.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass, field
+
+
+class LatencyReservoir:
+    """Fixed-size uniform sample of per-packet cycle latencies.
+
+    Algorithm R: the first ``capacity`` observations are kept verbatim;
+    afterwards observation ``n`` replaces a random slot with probability
+    ``capacity / n``.  The RNG is seeded per reservoir so the sample —
+    and hence every reported percentile — is reproducible.
+    """
+
+    __slots__ = ("capacity", "count", "samples", "_rng")
+
+    def __init__(self, capacity: int = 512, seed: int = 0) -> None:
+        if capacity < 1:
+            raise ValueError("reservoir capacity must be positive")
+        self.capacity = capacity
+        self.count = 0
+        self.samples: list[int] = []
+        self._rng = random.Random(seed)
+
+    def add(self, value: int) -> None:
+        self.count += 1
+        if len(self.samples) < self.capacity:
+            self.samples.append(value)
+            return
+        slot = self._rng.randrange(self.count)
+        if slot < self.capacity:
+            self.samples[slot] = value
+
+    def __len__(self) -> int:
+        return self.count
+
+
+def percentile(values: list[int], fraction: float) -> float:
+    """Linear-interpolation percentile of ``values`` (need not be
+    sorted); 0.0 for an empty sample."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    rank = fraction * (len(ordered) - 1)
+    low = int(rank)
+    high = min(low + 1, len(ordered) - 1)
+    weight = rank - low
+    return ordered[low] * (1.0 - weight) + ordered[high] * weight
+
+
+@dataclass(frozen=True)
+class ExtensionSnapshot:
+    """Point-in-time counters for one attached extension."""
+
+    name: str
+    state: str
+    checked: bool
+    packets_in: int
+    accepted: int
+    rejected: int
+    faults: int
+    consecutive_faults: int
+    quarantines: int
+    cycles: int
+    p50_cycles: float
+    p99_cycles: float
+    last_fault: str | None
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "state": self.state,
+            "checked": self.checked,
+            "packets_in": self.packets_in,
+            "accepted": self.accepted,
+            "rejected": self.rejected,
+            "faults": self.faults,
+            "consecutive_faults": self.consecutive_faults,
+            "quarantines": self.quarantines,
+            "cycles": self.cycles,
+            "p50_cycles": self.p50_cycles,
+            "p99_cycles": self.p99_cycles,
+            "last_fault": self.last_fault,
+        }
+
+
+@dataclass(frozen=True)
+class RuntimeSnapshot:
+    """Point-in-time view of the whole dispatch runtime.
+
+    ``modeled_seconds`` is the simulated wall time: the busiest shard's
+    cycle clock divided by the modeled core frequency.  Shards are
+    modeled cores running in parallel, so runtime-wide throughput is
+    ``packets_in / modeled_seconds`` — the metric the shard-scaling
+    benchmark reports (Python wall time rides along as a sanity check,
+    exactly as in :mod:`repro.perf`).
+    """
+
+    shards: int
+    extensions: tuple[ExtensionSnapshot, ...]
+    packets_in: int
+    dispatches: int
+    faults: int
+    contract_drops: int
+    shard_cycles: tuple[int, ...]
+    clock_mhz: float
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def modeled_seconds(self) -> float:
+        if not self.shard_cycles:
+            return 0.0
+        return max(self.shard_cycles) / (self.clock_mhz * 1e6)
+
+    @property
+    def modeled_packets_per_second(self) -> float:
+        seconds = self.modeled_seconds
+        return self.packets_in / seconds if seconds else 0.0
+
+    def extension(self, name: str) -> ExtensionSnapshot:
+        for snapshot in self.extensions:
+            if snapshot.name == name:
+                return snapshot
+        raise KeyError(f"no extension named {name!r}")
+
+    def to_dict(self) -> dict:
+        return {
+            "shards": self.shards,
+            "packets_in": self.packets_in,
+            "dispatches": self.dispatches,
+            "faults": self.faults,
+            "contract_drops": self.contract_drops,
+            "shard_cycles": list(self.shard_cycles),
+            "clock_mhz": self.clock_mhz,
+            "modeled_seconds": self.modeled_seconds,
+            "modeled_packets_per_second": self.modeled_packets_per_second,
+            "extensions": [ext.to_dict() for ext in self.extensions],
+            **self.extra,
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)

@@ -1,0 +1,86 @@
+"""SafetyViolation diagnostics: a stuck abstract machine says *where*.
+
+The runtime's quarantine log leans on three attributes of every rd/wr
+violation — the faulting ``pc``, the offending ``address``, and the
+check ``kind`` — so both implementations of the Figure 3 checks (the
+threaded-code hooks and the reference :class:`AbstractMachine`) must
+populate them, and must agree with each other.
+"""
+
+import pytest
+
+from repro.alpha.abstract import AbstractMachine, run_abstract
+from repro.alpha.parser import parse_program
+from repro.errors import SafetyViolation
+from repro.filters.policy import filter_registers, reusable_packet_memory
+
+READER = parse_program("""
+    ADDQ r1, 8, r4
+    LDQ r0, 8(r4)
+    RET
+""")
+
+WRITER = parse_program("""
+    STQ r2, 16(r1)
+    ADDQ r2, 1, r0
+    RET
+""")
+
+
+def _packet_state(frame_length=96):
+    memory, rebind = reusable_packet_memory()
+    rebind(b"\x00" * frame_length)
+    return memory, filter_registers(frame_length)
+
+
+def _violation(program, can_read, can_write):
+    """The same denied access on both Figure 3 implementations; returns
+    the two SafetyViolations after checking they agree."""
+    errors = []
+    for run in (
+        lambda: run_abstract(program, _packet_state()[0], can_read,
+                             can_write, _packet_state()[1]),
+        lambda: AbstractMachine(program, _packet_state()[0], can_read,
+                                can_write, _packet_state()[1]).run(),
+    ):
+        with pytest.raises(SafetyViolation) as excinfo:
+            run()
+        errors.append(excinfo.value)
+    engine_error, machine_error = errors
+    assert engine_error.pc == machine_error.pc
+    assert engine_error.address == machine_error.address
+    assert engine_error.kind == machine_error.kind
+    return engine_error
+
+
+def test_read_violation_carries_pc_address_kind():
+    error = _violation(READER, can_read=lambda a: False,
+                       can_write=lambda a: True)
+    base = filter_registers(96)[1]
+    assert error.kind == "rd"
+    assert error.pc == 1
+    assert error.address == base + 16
+    assert f"{error.address:#x}" in str(error)
+
+
+def test_write_violation_carries_pc_address_kind():
+    error = _violation(WRITER, can_read=lambda a: True,
+                       can_write=lambda a: False)
+    base = filter_registers(96)[1]
+    assert error.kind == "wr"
+    assert error.pc == 0
+    assert error.address == base + 16
+
+
+def test_alignment_is_part_of_the_check():
+    """An unaligned access is a violation even when the policy predicate
+    would allow the address (the paper's uniform alignment rule)."""
+    unaligned = parse_program("""
+        LDQ r0, 4(r1)
+        RET
+    """)
+    error = _violation(unaligned, can_read=lambda a: True,
+                       can_write=lambda a: True)
+    assert error.kind == "rd"
+    assert error.pc == 0
+    assert error.address % 8 == 4

@@ -1,0 +1,81 @@
+"""The hostile-workload helpers: deterministic contract-breaking frames."""
+
+import pytest
+
+from repro.filters.packets import (
+    FAULT_KINDS,
+    MAX_FRAME,
+    MIN_FRAME,
+    adversarial_ihl_frame,
+    inject_faults,
+    oversize_frame,
+    truncate_frame,
+)
+from repro.filters.trace import TraceConfig, generate_trace
+
+
+@pytest.fixture()
+def frames():
+    return generate_trace(TraceConfig(packets=400, seed=7))
+
+
+def test_truncate_cuts_below_contract_minimum(frames):
+    mutated = truncate_frame(frames[0], 24)
+    assert len(mutated) == 24 < MIN_FRAME
+    assert mutated == frames[0][:24]
+
+
+def test_truncate_rejects_in_contract_lengths(frames):
+    with pytest.raises(ValueError):
+        truncate_frame(frames[0], MIN_FRAME)
+    with pytest.raises(ValueError):
+        truncate_frame(frames[0], 0)
+
+
+def test_oversize_pads_past_mtu(frames):
+    mutated = oversize_frame(frames[0])
+    assert len(mutated) > MAX_FRAME
+    assert mutated.startswith(frames[0])
+    with pytest.raises(ValueError):
+        oversize_frame(frames[0], MAX_FRAME)
+
+
+def test_adversarial_ihl_rewrites_only_the_header_nibble(frames):
+    ip_frame = next(frame for frame in frames if frame[12:14] == b"\x08\x00")
+    mutated = adversarial_ihl_frame(ip_frame, 15)
+    assert len(mutated) == len(ip_frame)
+    assert mutated[14] == (4 << 4) | 15
+    assert mutated[:14] == ip_frame[:14]
+    assert mutated[15:] == ip_frame[15:]
+    with pytest.raises(ValueError):
+        adversarial_ihl_frame(ip_frame, 16)
+
+
+def test_inject_faults_is_deterministic(frames):
+    first = list(frames)
+    second = list(frames)
+    injected_first = inject_faults(first, fraction=0.1)
+    injected_second = inject_faults(second, fraction=0.1)
+    assert injected_first == injected_second
+    assert first == second
+    assert len(injected_first) == 40
+
+
+def test_inject_faults_mutates_exactly_the_reported_frames(frames):
+    original = list(frames)
+    mutated = list(frames)
+    injected = inject_faults(mutated, fraction=0.05)
+    touched = {index for index, _ in injected}
+    for index, (before, after) in enumerate(zip(original, mutated)):
+        if index in touched:
+            assert before != after
+        else:
+            assert before == after
+    assert all(kind in FAULT_KINDS for _, kind in injected)
+
+
+def test_inject_faults_validates_arguments(frames):
+    with pytest.raises(ValueError, match="fraction"):
+        inject_faults(list(frames), fraction=1.5)
+    with pytest.raises(ValueError, match="unknown fault kind"):
+        inject_faults(list(frames), kinds=("truncated", "nonsense"))

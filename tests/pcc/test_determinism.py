@@ -1,0 +1,102 @@
+"""Cross-process determinism of the content-addressed surfaces.
+
+The loader caches on sha256 of bytes, and negotiation caches accept
+decisions on :meth:`PolicyProposal.digest` — both only work if the same
+logical input produces the same key in *every* process, regardless of
+``PYTHONHASHSEED``.  These tests pin the digests to literals (so any
+encoding change shows up as a diff, not a silent cache-miss regression)
+and re-derive one in a subprocess with a different hash seed.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.filters.policy import packet_filter_policy
+from repro.logic.formulas import conj, ge
+from repro.logic.terms import Var
+from repro.pcc.loader import ExtensionLoader
+from repro.pcc.negotiate import PolicyProposal, propose_policy
+
+#: propose_policy(packet_filter_policy(), conj([ge(Var('r2'), 64)])) —
+#: i.e. "the frame is at least the contract minimum", the implication
+#: every negotiation demo in this repo starts from.
+PINNED_PROPOSAL_DIGEST = \
+    "c026993f62de0d4808932231c7971019ac46950b228eb0a387c40936bba1282e"
+
+#: PolicyProposal(b"precondition", b"stream", b"proof-table",
+#: b"proof-stream") — pins the digest *format* (length-prefixed sha256)
+#: independently of the LF encoder.
+PINNED_RAW_DIGEST = \
+    "e822be4e0b2d34761e0503ab38ae16c94ec3d4865665a1f92c41908ec860526e"
+
+DIGEST_SNIPPET = """
+from repro.filters.policy import packet_filter_policy
+from repro.logic.formulas import conj, ge
+from repro.logic.terms import Var
+from repro.pcc.negotiate import propose_policy
+proposal = propose_policy(packet_filter_policy(),
+                          conj([ge(Var('r2'), 64)]))
+print(proposal.digest())
+"""
+
+
+def _proposal():
+    return propose_policy(packet_filter_policy(),
+                          conj([ge(Var("r2"), 64)]))
+
+
+def test_proposal_digest_is_pinned():
+    assert _proposal().digest() == PINNED_PROPOSAL_DIGEST
+
+
+def test_raw_digest_format_is_pinned():
+    proposal = PolicyProposal(b"precondition", b"stream",
+                              b"proof-table", b"proof-stream")
+    assert proposal.digest() == PINNED_RAW_DIGEST
+
+
+def test_digest_survives_wire_round_trip():
+    proposal = _proposal()
+    assert PolicyProposal.from_bytes(
+        proposal.to_bytes()).digest() == proposal.digest()
+
+
+def test_digest_is_hash_seed_independent():
+    """The whole pipeline — prover, LF encoder, digest — rerun in a
+    subprocess under a different PYTHONHASHSEED must reproduce the
+    pinned digest bit-for-bit."""
+    env = dict(os.environ)
+    current = env.get("PYTHONHASHSEED", "random")
+    env["PYTHONHASHSEED"] = "1" if current != "1" else "2"
+    src = Path(__file__).resolve().parents[2] / "src"
+    env["PYTHONPATH"] = str(src)
+    output = subprocess.run(
+        [sys.executable, "-c", DIGEST_SNIPPET], env=env,
+        capture_output=True, text=True, check=True)
+    assert output.stdout.strip() == PINNED_PROPOSAL_DIGEST
+
+
+def test_loader_stats_invariant_under_submission_order(certified_filters):
+    """validate_batch outcomes and the loads/hits/misses ledger depend
+    only on the multiset of submissions, not their order."""
+    policy = packet_filter_policy()
+    blobs = [certified.binary.to_bytes()
+             for name, certified in sorted(certified_filters.items())
+             if name.startswith("filter")]
+    submissions = blobs + blobs[:2] + [b"garbage"]
+
+    ledgers = []
+    for ordering in (submissions, list(reversed(submissions))):
+        loader = ExtensionLoader(policy)
+        outcomes = loader.validate_batch(ordering)
+        stats = loader.stats()
+        ledgers.append({
+            "ok": sorted(item.ok for item in outcomes),
+            "loads": stats.loads,
+            "hits": stats.hits,
+            "misses": stats.misses,
+        })
+    assert ledgers[0] == ledgers[1]
+    assert ledgers[0]["ok"].count(True) == len(blobs) + 2

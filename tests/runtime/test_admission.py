@@ -1,0 +1,77 @@
+"""Admission: the only way into the runtime is through the loader.
+
+Proven binaries land on the unchecked fast path; unproven binaries are
+rejected, or — only with the operator's explicit opt-in — downgraded to
+the checked abstract-machine tier.  Garbage is rejected regardless.
+"""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.runtime import ExtensionState, PacketRuntime, RuntimeConfig
+
+
+def test_proven_binary_gets_unchecked_fast_path(filter_policy, filter_blobs):
+    runtime = PacketRuntime(filter_policy)
+    extension = runtime.attach("filter1", filter_blobs["filter1"])
+    assert extension.state is ExtensionState.ACTIVE
+    assert extension.active
+    assert not extension.checked
+    assert extension.engine is not None
+    assert extension.shard_engines is None
+    assert extension.report is not None
+    assert runtime.extension("filter1") is extension
+
+
+def test_unproven_binary_rejected_by_default(filter_policy, rogue_blob):
+    runtime = PacketRuntime(filter_policy)
+    with pytest.raises(ValidationError):
+        runtime.attach("rogue", rogue_blob)
+    assert runtime.extensions == []
+
+
+def test_downgrade_admits_onto_checked_tier(filter_policy, rogue_blob):
+    config = RuntimeConfig(shards=2, downgrade_unproven=True)
+    runtime = PacketRuntime(filter_policy, config)
+    extension = runtime.attach("rogue", rogue_blob)
+    assert extension.checked
+    assert extension.report is None
+    assert extension.engine is None
+    assert len(extension.shard_engines) == 2
+
+
+def test_undecodable_binary_rejected_even_with_downgrade(
+        filter_policy, undecodable_blob):
+    config = RuntimeConfig(downgrade_unproven=True)
+    runtime = PacketRuntime(filter_policy, config)
+    with pytest.raises(ValidationError, match="undecodable"):
+        runtime.attach("garbage", undecodable_blob)
+
+
+def test_duplicate_name_rejected(filter_policy, filter_blobs):
+    runtime = PacketRuntime(filter_policy)
+    runtime.attach("filter1", filter_blobs["filter1"])
+    with pytest.raises(ValueError, match="already attached"):
+        runtime.attach("filter1", filter_blobs["filter2"])
+
+
+def test_detach_removes_extension(filter_policy, filter_blobs):
+    runtime = PacketRuntime(filter_policy)
+    runtime.attach("filter1", filter_blobs["filter1"])
+    runtime.detach("filter1")
+    assert runtime.extensions == []
+    runtime.attach("filter1", filter_blobs["filter1"])
+
+
+def test_admission_shares_the_content_addressed_cache(
+        filter_policy, filter_blobs):
+    """Byte-identical submissions under different names revalidate in
+    O(hash): the second attach is a loader cache hit."""
+    runtime = PacketRuntime(filter_policy)
+    runtime.attach("a", filter_blobs["filter1"])
+    runtime.attach("b", filter_blobs["filter1"])
+    stats = runtime.loader.stats()
+    assert stats.loads == 2
+    assert stats.hits == 1
+    assert stats.misses == 1
+    assert runtime.extension("a").digest == runtime.extension("b").digest

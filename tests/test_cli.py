@@ -1,5 +1,7 @@
 """CLI smoke tests: every subcommand, success and failure paths."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -87,6 +89,43 @@ class TestCli:
         out = capsys.readouterr().out
         assert "pcc" in out and "bpf" in out
         assert "cycles/pkt" in out
+
+    def test_serve_builtin_filters(self, capsys, tmp_path):
+        stats = tmp_path / "stats.json"
+        assert main(["serve", "--builtin-filters", "--packets", "300",
+                     "--shards", "2", "--budget", "100000",
+                     "--json", str(stats)]) == 0
+        out = capsys.readouterr().out
+        assert "ATTACHED filter1" in out
+        assert "modeled" in out
+        assert stats.exists()
+        payload = json.loads(stats.read_text())
+        assert payload["shards"] == 2
+        assert len(payload["extensions"]) == 4
+
+    def test_serve_rejects_then_downgrades(self, tmp_path, capsys):
+        from repro.alpha.encoding import encode_program
+        from repro.alpha.parser import parse_program
+        from repro.pcc.container import PccBinary
+
+        rogue = tmp_path / "rogue.pcc"
+        code = encode_program(parse_program("STQ r2, 0(r1)\nRET"))
+        rogue.write_bytes(PccBinary(code, b"", b"", b"").to_bytes())
+
+        with pytest.raises(SystemExit, match="no extension was admitted"):
+            main(["serve", str(rogue), "--packets", "50"])
+        assert "REJECTED" in capsys.readouterr().out
+
+        assert main(["serve", str(rogue), "--packets", "50",
+                     "--downgrade", "--fault-threshold", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "checked" in out
+        assert "quarantined" in out
+
+    def test_serve_with_fault_injection(self, capsys):
+        assert main(["serve", "--builtin-filters", "--packets", "200",
+                     "--inject-faults", "0.1"]) == 0
+        assert "contract drops" in capsys.readouterr().out
 
     def test_unknown_policy(self, tmp_path):
         source = tmp_path / "f.s"
