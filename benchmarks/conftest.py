@@ -101,3 +101,12 @@ def record_json():
         path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
 
     return writer
+
+
+@pytest.fixture(scope="session")
+def analysis_workload():
+    """Scale knob for ``bench_analysis_prescreen``: how many timed
+    repetitions per corpus blob, derived from the shared quick-mode
+    setting (more packets => more repeats => tighter minima)."""
+    packets = bench_packets()
+    return {"repeats": min(50, max(10, packets // 1000))}

@@ -184,7 +184,8 @@ class Machine:
 
     def __init__(self, program: Program, memory: Memory,
                  registers: dict[int, int] | None = None,
-                 cost_model=None, max_steps: int = 1_000_000) -> None:
+                 cost_model=None, max_steps: int = 1_000_000,
+                 trace_hook=None) -> None:
         self.program = program
         self.memory = memory
         self.regs = [0] * NUM_REGS
@@ -193,6 +194,13 @@ class Machine:
                 self.regs[index] = value & WORD_MASK
         self.cost_model = cost_model
         self.max_steps = max_steps
+        #: Optional ``hook(pc, regs)`` observed before each step with a
+        #: snapshot of the register file — the differential soundness
+        #: suite checks every traced state against the static analyzer's
+        #: intervals.  The concrete machine is the slow reference path,
+        #: so the per-step None check is acceptable here (the threaded
+        #: engine, the hot path, has no such hook).
+        self.trace_hook = trace_hook
 
     # The abstract machine overrides these two hooks to insert the paper's
     # safety checks; the concrete machine goes straight to hardware.
@@ -212,12 +220,15 @@ class Machine:
         steps = 0
         cycles = 0
         cost = self.cost_model
+        trace = self.trace_hook
         while True:
             if steps >= self.max_steps:
                 raise MachineError(
                     f"exceeded {self.max_steps} steps (runaway program?)")
             if not 0 <= pc < size:
                 raise MachineError(f"pc {pc} outside program")
+            if trace is not None:
+                trace(pc, list(regs))
             instruction = program[pc]
             steps += 1
             cycles += cost.cycles(instruction) if cost is not None else 1

@@ -1,0 +1,222 @@
+"""Diagnostics over recovered CFGs — the advisory layer.
+
+Nothing here gates admission: PCC validation is the only admission path
+and the pre-screen (:mod:`repro.analysis.prescreen`) only fast-rejects.
+Lint reports the things a certifying producer usually wants to know
+*before* paying the prover:
+
+==================== ======== =========================================
+code                 severity meaning
+==================== ======== =========================================
+invalid-branch-target error   a control transfer leaves the program;
+                              the machine faults there
+fall-through-end      error   execution can run off the last
+                              instruction (same fault)
+missing-ret           error   no RET is reachable from entry — every
+                              execution faults or loops forever
+unreachable-block     warning code no execution can reach
+dead-store            warning a register write no later read can see
+clobbered-input       warning a write to a pinned input register
+                              (packet base / length / scratch by
+                              default) — legal, but usually a bug in
+                              hand-written filters
+==================== ======== =========================================
+
+Dead-store detection is a standard backward liveness fixpoint over the
+CFG.  The return register (r0) is live out of every exiting block, and
+*every* register is treated as live out of fault exits — a trap slot
+conceptually exposes the whole register file to the fault handler, and
+the conservative choice avoids flagging stores on paths the machine
+never completes.
+
+The report structure is stable: diagnostics sort by (pc, code) and the
+dataclasses are frozen, so snapshot-style tests and the CLI can rely on
+deterministic output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.alpha.isa import (
+    NUM_REGS,
+    Program,
+    Ret,
+    read_registers,
+    written_register,
+)
+from repro.analysis.cfg import BasicBlock, ControlFlowGraph, build_cfg
+
+#: Registers a packet filter receives its arguments in (base, length,
+#: scratch); writes to these are flagged as ``clobbered-input``.
+DEFAULT_PINNED_REGISTERS = (1, 2, 3)
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding; ``pc`` is the anchoring instruction (or the block
+    start for block-level findings)."""
+
+    code: str
+    severity: str               # "error" | "warning"
+    pc: int
+    message: str
+
+    def __str__(self) -> str:
+        return f"pc {self.pc:3d}  {self.severity}: {self.message} " \
+               f"[{self.code}]"
+
+
+@dataclass(frozen=True)
+class LintReport:
+    """All diagnostics for one program, sorted by (pc, code)."""
+
+    diagnostics: tuple[Diagnostic, ...]
+
+    @property
+    def errors(self) -> tuple[Diagnostic, ...]:
+        return tuple(d for d in self.diagnostics if d.severity == "error")
+
+    @property
+    def warnings(self) -> tuple[Diagnostic, ...]:
+        return tuple(d for d in self.diagnostics
+                     if d.severity == "warning")
+
+    @property
+    def clean(self) -> bool:
+        return not self.diagnostics
+
+    def by_code(self, code: str) -> tuple[Diagnostic, ...]:
+        return tuple(d for d in self.diagnostics if d.code == code)
+
+    def __iter__(self):
+        return iter(self.diagnostics)
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+
+def _control_flow_errors(cfg: ControlFlowGraph) -> list[Diagnostic]:
+    found = []
+    for block in cfg.blocks:
+        for target in block.fault_targets:
+            found.append(Diagnostic(
+                "invalid-branch-target", "error", block.terminator_pc,
+                f"branch target {target} is outside the program"))
+        if block.falls_off:
+            found.append(Diagnostic(
+                "fall-through-end", "error", block.terminator_pc,
+                "execution can fall through the last instruction"))
+    return found
+
+
+def _missing_ret(cfg: ControlFlowGraph) -> list[Diagnostic]:
+    for index in cfg.reachable:
+        block = cfg.blocks[index]
+        if isinstance(cfg.program[block.terminator_pc], Ret):
+            return []
+    return [Diagnostic("missing-ret", "error", 0,
+                       "no RET is reachable from entry")]
+
+
+def _unreachable(cfg: ControlFlowGraph) -> list[Diagnostic]:
+    return [Diagnostic("unreachable-block", "warning", block.start,
+                       f"block B{block.index} "
+                       f"(pc {block.start}..{block.end - 1}) "
+                       "is unreachable")
+            for block in cfg.blocks if block.index not in cfg.reachable]
+
+
+ALL_REGS = frozenset(range(NUM_REGS))
+
+
+def _live_out(cfg: ControlFlowGraph) -> dict[int, frozenset[int]]:
+    """Backward liveness fixpoint: registers live out of each block."""
+    live_in: dict[int, frozenset[int]] = {b.index: frozenset()
+                                          for b in cfg.blocks}
+    live_out: dict[int, frozenset[int]] = dict(live_in)
+
+    def block_live_in(block: BasicBlock,
+                      out: frozenset[int]) -> frozenset[int]:
+        live = set(out)
+        for pc in range(block.end - 1, block.start - 1, -1):
+            written = written_register(cfg.program[pc])
+            if written is not None:
+                live.discard(written)
+            live |= read_registers(cfg.program[pc])
+        return frozenset(live)
+
+    def exit_live(block: BasicBlock) -> frozenset[int]:
+        if isinstance(cfg.program[block.terminator_pc], Ret):
+            return frozenset({0})           # the verdict register
+        if block.fault_targets or block.falls_off:
+            return ALL_REGS                 # trap exposes everything
+        return frozenset()
+
+    changed = True
+    while changed:
+        changed = False
+        for block in reversed(cfg.blocks):
+            out = exit_live(block)
+            for succ in block.successors:
+                out |= live_in[succ]
+            new_in = block_live_in(block, out)
+            if out != live_out[block.index] \
+                    or new_in != live_in[block.index]:
+                live_out[block.index] = out
+                live_in[block.index] = new_in
+                changed = True
+    return live_out
+
+
+def _dead_stores(cfg: ControlFlowGraph) -> list[Diagnostic]:
+    live_out = _live_out(cfg)
+    found = []
+    for block in cfg.blocks:
+        if block.index not in cfg.reachable:
+            continue                        # already flagged unreachable
+        live = set(live_out[block.index])
+        for pc in range(block.end - 1, block.start - 1, -1):
+            written = written_register(cfg.program[pc])
+            if written is not None:
+                if written not in live:
+                    found.append(Diagnostic(
+                        "dead-store", "warning", pc,
+                        f"r{written} is overwritten or discarded "
+                        "before any read"))
+                live.discard(written)
+            live |= read_registers(cfg.program[pc])
+    return found
+
+
+def _clobbered_inputs(cfg: ControlFlowGraph,
+                      pinned: tuple[int, ...]) -> list[Diagnostic]:
+    pinned_set = set(pinned)
+    found = []
+    for block in cfg.blocks:
+        if block.index not in cfg.reachable:
+            continue
+        for pc, instruction in cfg.instructions(block):
+            written = written_register(instruction)
+            if written in pinned_set:
+                found.append(Diagnostic(
+                    "clobbered-input", "warning", pc,
+                    f"r{written} is a pinned input register and is "
+                    "overwritten here"))
+    return found
+
+
+def lint_program(program: Program | ControlFlowGraph,
+                 pinned_registers: tuple[int, ...] =
+                 DEFAULT_PINNED_REGISTERS) -> LintReport:
+    """Run every check; never raises on malformed programs."""
+    cfg = program if isinstance(program, ControlFlowGraph) \
+        else build_cfg(program)
+    if not cfg.blocks:
+        return LintReport((Diagnostic("missing-ret", "error", 0,
+                                      "empty program"),))
+    diagnostics = (_control_flow_errors(cfg) + _missing_ret(cfg)
+                   + _unreachable(cfg) + _dead_stores(cfg)
+                   + _clobbered_inputs(cfg, pinned_registers))
+    return LintReport(tuple(sorted(diagnostics,
+                                   key=lambda d: (d.pc, d.code))))

@@ -1,0 +1,220 @@
+"""The loader's sound fast-reject path, plus the bundled full report.
+
+:func:`prescreen_blob` answers one question about an untrusted PCC
+binary *without* touching the prover: "is this binary certain to fail
+full validation (or certain to fault at run time)?"  It may answer
+"no opinion" freely — **only full PCC validation ever admits** — but
+when it answers "reject", that answer must be one validation itself
+would reach, so a pre-screened loader rejects a subset of what an
+unscreened loader rejects and never turns away a certifiable binary.
+
+The reject conditions, cheapest first:
+
+1. **container** — the Figure 7 framing does not parse (validation's
+   step 1 fails identically);
+2. **code** — the code section does not decode to the Alpha subset
+   (validation's ``decode_program`` fails identically);
+3. **structure** — :func:`repro.alpha.isa.validate_program` rejects
+   (out-of-range branch target, fall-off-the-end); ``safety_predicate``
+   calls the very same function, so validation rejects identically;
+4. **invariants** — the invariant table is malformed, annotates a pc
+   outside the program, or misses a backward-branch target; these
+   mirror ``unpack_invariants`` and ``check_invariant_coverage``
+   one-for-one;
+5. **memory** — the interval analysis proves some reachable LDQ/STQ
+   *must* fault under the policy's canonical invocation environment
+   (address interval disjoint from every region, or provably
+   unaligned).  A fact true of every concrete execution is not provable
+   safe, so no valid proof for the policy's safety predicate can exist.
+
+One honest caveat, pinned down by the agreement tests: condition 5 is
+evaluated on the *merged* (path-insensitive) abstract state, so a
+hand-crafted binary whose faulting access is dynamically unreachable
+only via path correlations the interval domain cannot express could in
+principle be pre-rejected even though a proof of vacuous safety exists.
+Prover-produced certificates never hit this: the certifier proves
+accesses safe point-wise, not vacuously.  The pre-screen is therefore
+documented (and tested) as sound for every binary the paper's producer
+can emit; deployments loading exotic hand-built proofs can simply leave
+``prescreen`` off — it is opt-in end to end.
+
+WCET and termination are deliberately **not** reject conditions: the
+paper's safety policies say nothing about termination, so an unbounded
+loop with a valid proof must still admit (and then live under the
+runtime's cycle budget).
+
+:func:`analyze_program` bundles every pass (CFG, intervals, WCET, lint)
+into one :class:`AnalysisReport` for the CLI and the API.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.alpha.encoding import decode_program
+from repro.alpha.isa import Br, Branch, Program, branch_target, \
+    validate_program
+from repro.analysis.cfg import ControlFlowGraph, build_cfg
+from repro.analysis.intervals import (
+    AnalysisContext,
+    IntervalAnalysis,
+    analyze_intervals,
+    context_for_policy,
+)
+from repro.analysis.lint import LintReport, lint_program
+from repro.analysis.wcet import WcetReport, estimate_wcet
+from repro.errors import PccError, ValidationError
+from repro.pcc.container import PccBinary, unpack_invariants
+from repro.perf.cost import AlphaCostModel
+from repro.vcgen.policy import SafetyPolicy
+
+
+@dataclass(frozen=True)
+class PrescreenResult:
+    """The fast-reject verdict.  ``ok=True`` means "no opinion" — the
+    binary still needs full validation; it is never an admission."""
+
+    ok: bool
+    stage: str | None = None
+    reason: str | None = None
+
+    def __str__(self) -> str:
+        if self.ok:
+            return "prescreen: no objection"
+        return f"prescreen[{self.stage}]: {self.reason}"
+
+
+_PASS = PrescreenResult(True)
+
+
+def _reject(stage: str, reason: str) -> PrescreenResult:
+    return PrescreenResult(False, stage, reason)
+
+
+def prescreen_blob(data: bytes | PccBinary, policy: SafetyPolicy,
+                   context: AnalysisContext | None = None,
+                   ) -> PrescreenResult:
+    """Cheaply decide whether ``data`` is certain to fail validation
+    under ``policy`` (see the module docstring for the exact contract).
+    Never raises on untrusted input."""
+    try:
+        binary = data if isinstance(data, PccBinary) \
+            else PccBinary.from_bytes(bytes(data))
+    except ValidationError as error:
+        return _reject("container", str(error))
+
+    try:
+        program = decode_program(binary.code)
+    except PccError as error:
+        return _reject("code", str(error))
+
+    try:
+        validate_program(program)
+    except PccError as error:
+        return _reject("structure", str(error))
+
+    try:
+        invariants = unpack_invariants(binary.invariants)
+    except ValidationError as error:
+        return _reject("invariants", str(error))
+    for pc in invariants:
+        if not 0 <= pc < len(program):
+            return _reject("invariants",
+                           f"invariant annotates pc={pc}, outside the "
+                           "program")
+    for pc, instruction in enumerate(program):
+        if isinstance(instruction, (Branch, Br)):
+            target = branch_target(pc, instruction)
+            if target <= pc and target not in invariants:
+                return _reject(
+                    "invariants",
+                    f"backward branch at pc={pc} to pc={target} has no "
+                    "loop invariant")
+
+    analysis = analyze_intervals(program,
+                                 context or context_for_policy(policy))
+    for access in analysis.definite_faults:
+        what = "load" if access.kind == "rd" else "store"
+        if access.verdict == "escape":
+            return _reject(
+                "memory",
+                f"{what} at pc={access.pc} must fault: address interval "
+                f"{access.interval} is disjoint from every "
+                f"{'readable' if access.kind == 'rd' else 'writable'} "
+                "region")
+        return _reject(
+            "memory",
+            f"{what} at pc={access.pc} must fault: address interval "
+            f"{access.interval} contains no 8-byte-aligned value")
+    return _PASS
+
+
+@dataclass(frozen=True)
+class AnalysisReport:
+    """Every analysis pass over one program, computed once and shared."""
+
+    program: Program
+    context: AnalysisContext
+    cfg: ControlFlowGraph
+    intervals: IntervalAnalysis
+    wcet: WcetReport
+    lint: LintReport
+
+    def to_dict(self) -> dict:
+        """A JSON-ready summary (the CLI's ``--json`` output)."""
+        return {
+            "context": self.context.name,
+            "blocks": [
+                {
+                    "index": block.index,
+                    "start": block.start,
+                    "end": block.end,
+                    "successors": list(block.successors),
+                    "reachable": block.index in self.cfg.reachable,
+                }
+                for block in self.cfg.blocks
+            ],
+            "loops": [
+                {"header": loop.header, "blocks": sorted(loop.blocks)}
+                for loop in self.cfg.loops
+            ],
+            "accesses": [
+                {
+                    "pc": access.pc,
+                    "kind": access.kind,
+                    "interval": [access.interval.lo, access.interval.hi],
+                    "verdict": access.verdict,
+                    "alignment": access.alignment,
+                }
+                for access in self.intervals.accesses
+            ],
+            "wcet": {
+                "classification": self.wcet.classification,
+                "bound": self.wcet.bound,
+                "loops": [
+                    {"header": bound.header, "trips": bound.trips,
+                     "body_cycles": bound.body_cycles,
+                     "reason": bound.reason}
+                    for bound in self.wcet.loop_bounds
+                ],
+            },
+            "lint": [
+                {"code": diag.code, "severity": diag.severity,
+                 "pc": diag.pc, "message": diag.message}
+                for diag in self.lint
+            ],
+        }
+
+
+def analyze_program(program: Program,
+                    context: AnalysisContext | None = None,
+                    cost_model: AlphaCostModel | None = None,
+                    ) -> AnalysisReport:
+    """Run CFG recovery, intervals, WCET and lint over ``program``,
+    sharing one CFG and one fixpoint across the passes."""
+    resolved = context or AnalysisContext()
+    cfg = build_cfg(program)
+    intervals = analyze_intervals(cfg, resolved)
+    wcet = estimate_wcet(cfg, resolved, cost_model, analysis=intervals)
+    lint = lint_program(cfg)
+    return AnalysisReport(program, resolved, cfg, intervals, wcet, lint)

@@ -14,6 +14,10 @@ Subcommands mirror the paper's workflow:
   through the loader, replay a synthetic trace across sharded workers
   with cycle budgets and fault quarantine, and print per-extension
   telemetry (``--json`` dumps the stats snapshot);
+* ``pcc analyze <binary>`` — the static-analysis subsystem: recover the
+  CFG, run the interval abstract interpreter against the policy's
+  memory regions, bound the worst-case cycle count, and lint — all
+  ahead of time, without executing or even validating the code;
 * ``pcc disasm <binary>`` — decode the native-code section;
 * ``pcc layout <binary>`` — print the Figure 7 section offsets;
 * ``pcc filter <name> <trace-size>`` — certify one of the paper's four
@@ -50,6 +54,17 @@ def _load_policy(name: str) -> SafetyPolicy:
         raise SystemExit(f"unknown policy {name!r}; choose from "
                          f"{', '.join(sorted(policies))}")
     return policies[name]()
+
+
+def _budget_value(text: str):
+    """``--budget`` accepts an integer or the ``auto`` sentinel."""
+    if text == "auto":
+        return "auto"
+    try:
+        return int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"budget must be an integer or 'auto', not {text!r}")
 
 
 def _cmd_certify(args: argparse.Namespace) -> int:
@@ -121,6 +136,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     config = RuntimeConfig(
         shards=args.shards,
         cycle_budget=args.budget,
+        budget_slack=args.budget_slack,
         fault_threshold=args.fault_threshold,
         downgrade_unproven=args.downgrade,
         enforce_contract=not args.no_contract,
@@ -147,8 +163,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             print(f"  REJECTED {name}: {error}")
             continue
         tier = "checked (downgraded)" if extension.checked else "unchecked"
+        note = ""
+        if extension.cycle_budget is not None:
+            note = f", budget {extension.cycle_budget} cycles"
+            if extension.wcet_bound is not None:
+                note += f" (wcet {extension.wcet_bound})"
+        elif config.cycle_budget == "auto":
+            note = ", unbudgeted (no WCET bound)"
         print(f"  ATTACHED {name}: {len(extension.program)} instructions, "
-              f"{tier}")
+              f"{tier}{note}")
     if not runtime.extensions:
         raise SystemExit("no extension was admitted")
 
@@ -179,6 +202,83 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         Path(args.json).write_text(snapshot.to_json() + "\n")
         print(f"\nstats snapshot -> {args.json}")
     return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.alpha.encoding import decode_program
+    from repro.analysis import analyze_program, context_for_policy
+    from repro.analysis.prescreen import prescreen_blob
+    from repro.errors import ValidationError
+    from repro.pcc.container import PccBinary
+
+    policy = _load_policy(args.policy)
+    blob = Path(args.binary).read_bytes()
+    try:
+        binary = PccBinary.from_bytes(blob)
+        code, is_container = binary.code, True
+    except ValidationError:
+        code, is_container = blob, False  # raw encoded code section
+    program = decode_program(code)
+
+    context = context_for_policy(policy)
+    report = analyze_program(program, context)
+    cfg, wcet, lint = report.cfg, report.wcet, report.lint
+
+    print(f"analyzed {args.binary} under policy {policy.name!r}: "
+          f"{len(program)} instructions, {len(cfg.blocks)} basic "
+          f"block(s)")
+    print("\nbasic blocks:")
+    for block in cfg.blocks:
+        marker = "" if block.index in cfg.reachable else "  (unreachable)"
+        print(f"  {block}{marker}")
+    if cfg.loops:
+        print("\nloops:")
+        for loop in cfg.loops:
+            print(f"  {loop}")
+    else:
+        print("\nloops: none")
+
+    if report.intervals.accesses:
+        print("\nmemory accesses:")
+        for access in report.intervals.accesses:
+            print(f"  pc {access.pc:3d}  {access.kind}  "
+                  f"{str(access.interval):24}  {access.verdict:8} "
+                  f"{access.alignment}-aligned")
+    else:
+        print("\nmemory accesses: none")
+
+    print(f"\n{wcet}")
+    for bound in wcet.loop_bounds:
+        print(f"  {bound}")
+    budget = wcet.budget(args.slack)
+    if budget is not None:
+        print(f"  auto cycle budget (slack {args.slack:.0%}): {budget}")
+    else:
+        print("  auto cycle budget: none (unbounded; runtime falls back "
+              "to unbudgeted dispatch)")
+
+    if lint.clean:
+        print("\nlint: clean")
+    else:
+        print(f"\nlint: {len(lint.errors)} error(s), "
+              f"{len(lint.warnings)} warning(s)")
+        for diagnostic in lint:
+            print(f"  {diagnostic}")
+
+    if is_container:
+        verdict = prescreen_blob(blob, policy, context)
+        print(f"\n{verdict}")
+
+    if args.json:
+        payload = report.to_dict()
+        payload["auto_budget"] = budget
+        payload["slack"] = args.slack
+        Path(args.json).write_text(json.dumps(payload, indent=2,
+                                              sort_keys=True) + "\n")
+        print(f"\nanalysis report -> {args.json}")
+    return 0 if not lint.errors else 1
 
 
 def _cmd_disasm(args: argparse.Namespace) -> int:
@@ -282,8 +382,12 @@ def main(argv: list[str] | None = None) -> int:
                          help="replay the trace N times")
     p_serve.add_argument("--seed", type=int, default=19961028)
     p_serve.add_argument("--shards", type=int, default=4)
-    p_serve.add_argument("--budget", type=int, default=None,
-                         help="per-invocation cycle budget")
+    p_serve.add_argument("--budget", type=_budget_value, default=None,
+                         help="per-invocation cycle budget (an int, or "
+                              "'auto' to derive each extension's budget "
+                              "from its static WCET bound)")
+    p_serve.add_argument("--budget-slack", type=float, default=0.0,
+                         help="headroom on 'auto' budgets (0.25 = +25%%)")
     p_serve.add_argument("--fault-threshold", type=int, default=3,
                          help="consecutive faults before quarantine")
     p_serve.add_argument("--downgrade", action="store_true",
@@ -296,6 +400,18 @@ def main(argv: list[str] | None = None) -> int:
     p_serve.add_argument("--json", metavar="PATH",
                          help="write the stats snapshot as JSON")
     p_serve.set_defaults(fn=_cmd_serve)
+
+    p_analyze = sub.add_parser(
+        "analyze", help="static analysis: CFG, intervals, WCET, lint")
+    p_analyze.add_argument("binary",
+                           help="PCC binary (or raw encoded code section)")
+    p_analyze.add_argument("--policy", default="packet-filter")
+    p_analyze.add_argument("--slack", type=float, default=0.0,
+                           help="headroom on the auto cycle budget "
+                                "(e.g. 0.25 = +25%%)")
+    p_analyze.add_argument("--json", metavar="PATH",
+                           help="write the analysis report as JSON")
+    p_analyze.set_defaults(fn=_cmd_analyze)
 
     p_disasm = sub.add_parser("disasm", help="decode the code section")
     p_disasm.add_argument("binary")

@@ -76,6 +76,18 @@ class LoadedExtension:
 
         return ExecutionEngine(self.program, cost_model, max_steps)
 
+    def analyze(self, context=None, cost_model=None):
+        """The full static-analysis report for this extension (CFG,
+        intervals, WCET, lint) — advisory only; admission already
+        happened through validation.  ``context`` is an
+        :class:`~repro.analysis.intervals.AnalysisContext`; the default
+        assumes the machine's zeroed entry registers and classifies no
+        memory regions.
+        """
+        from repro.analysis.prescreen import analyze_program
+
+        return analyze_program(self.program, context, cost_model)
+
 
 @dataclass
 class CodeConsumer:
@@ -90,10 +102,14 @@ class CodeConsumer:
     policy: SafetyPolicy
     loaded: list[LoadedExtension] = field(default_factory=list)
     cache_capacity: int = 64
+    #: Opt-in static-analysis fast-reject before full validation (never
+    #: admits anything; see :mod:`repro.analysis.prescreen`).
+    prescreen: bool = False
     loader: ExtensionLoader = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
-        self.loader = ExtensionLoader(self.policy, self.cache_capacity)
+        self.loader = ExtensionLoader(self.policy, self.cache_capacity,
+                                      prescreen=self.prescreen)
 
     def install(self, data: bytes | PccBinary,
                 measure_memory: bool = False) -> LoadedExtension:

@@ -28,6 +28,18 @@ them would let a colliding key mask a later, genuinely valid submission.
 :class:`ExtensionLoader` also fans *independent* submissions out over a
 ``multiprocessing`` pool (:meth:`ExtensionLoader.validate_batch`) with
 per-item error isolation: one bad binary rejects that item only.
+
+**Pre-screening** (opt-in, ``prescreen=True``): before paying VCGen +
+LF proof checking on a cache miss, the loader runs the static-analysis
+fast-reject pass (:func:`repro.analysis.prescreen.prescreen_blob`).
+The pre-screen never *admits* — a binary it has no objection to still
+goes through full validation — so it cannot weaken safety; it only
+makes rejection of malformed and provably-unsafe binaries cheap.
+Unlike the verdict cache, pre-screen results (including rejections)
+*are* cached: a colliding key could at worst cause a spurious cheap
+rejection of a binary full validation would also have to re-examine,
+never a spurious admission, and the common adversarial pattern is the
+same bad bytes hammered repeatedly.
 """
 
 from __future__ import annotations
@@ -92,6 +104,11 @@ class LoaderStats:
     ``hits + misses == loads`` always holds: every :meth:`~ExtensionLoader
     .load` is counted exactly once, including loads that end in rejection
     (those count as misses — rejections are never cached).
+
+    ``prescreen_checks`` counts fresh pre-screen analyses (cache misses
+    in the pre-screen result cache); ``prescreen_rejects`` counts loads
+    turned away by a pre-screen verdict, cached or fresh.  Both stay 0
+    on loaders constructed without ``prescreen=True``.
     """
 
     loads: int
@@ -100,6 +117,8 @@ class LoaderStats:
     evictions: int
     size: int
     capacity: int
+    prescreen_checks: int = 0
+    prescreen_rejects: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -160,19 +179,28 @@ class ExtensionLoader:
     itself runs outside it, so concurrent cold loads overlap.
     """
 
-    def __init__(self, policy: SafetyPolicy, capacity: int = 64) -> None:
+    def __init__(self, policy: SafetyPolicy, capacity: int = 64,
+                 prescreen: bool = False,
+                 analysis_context=None) -> None:
         if capacity < 1:
             raise ValueError("cache capacity must be at least 1")
         self.policy = policy
         self.capacity = capacity
+        self.prescreen = prescreen
         self.fingerprint = policy_fingerprint(policy)
         self._cache: OrderedDict[tuple[str, str], ValidationReport] = \
             OrderedDict()
+        # Pre-screen verdicts (including rejections — see the module
+        # docstring for why that is safe) under the same keying.
+        self._analysis: OrderedDict[tuple[str, str], object] = OrderedDict()
+        self._analysis_context = analysis_context
         self._lock = threading.Lock()
         self._loads = 0
         self._hits = 0
         self._misses = 0
         self._evictions = 0
+        self._prescreen_checks = 0
+        self._prescreen_rejects = 0
 
     # -- keying ----------------------------------------------------------
 
@@ -208,9 +236,44 @@ class ExtensionLoader:
                     self._hits += 1
                     return cached
             self._misses += 1
+        if self.prescreen:
+            self._prescreen_or_raise(key, blob)
         report = validate(blob, self.policy, measure_memory)
         self._store(key, report)
         return report
+
+    # -- pre-screening ---------------------------------------------------
+
+    def _prescreen_verdict(self, key: tuple[str, str], blob: bytes):
+        """The cached-or-fresh pre-screen verdict for ``blob``."""
+        with self._lock:
+            verdict = self._analysis.get(key)
+            if verdict is not None:
+                self._analysis.move_to_end(key)
+                return verdict
+        # Imported lazily: the analysis subsystem is optional machinery
+        # the plain validation path never needs.
+        from repro.analysis.intervals import context_for_policy
+        from repro.analysis.prescreen import prescreen_blob
+
+        context = self._analysis_context
+        if context is None:
+            context = context_for_policy(self.policy)
+        verdict = prescreen_blob(blob, self.policy, context)
+        with self._lock:
+            self._prescreen_checks += 1
+            self._analysis[key] = verdict
+            while len(self._analysis) > self.capacity:
+                self._analysis.popitem(last=False)
+        return verdict
+
+    def _prescreen_or_raise(self, key: tuple[str, str],
+                            blob: bytes) -> None:
+        verdict = self._prescreen_verdict(key, blob)
+        if not verdict.ok:
+            with self._lock:
+                self._prescreen_rejects += 1
+            raise ValidationError(str(verdict))
 
     def _store(self, key: tuple[str, str], report: ValidationReport) -> None:
         with self._lock:
@@ -258,6 +321,21 @@ class ExtensionLoader:
                     key_indices[key] = []
                     pending.append((key, blob))
                 key_indices[key].append(index)
+
+        if self.prescreen and pending:
+            # Fast-reject before paying the pool fan-out; a pre-screen
+            # rejection is one full validation itself would reach.
+            survivors = []
+            for key, blob in pending:
+                verdict = self._prescreen_verdict(key, blob)
+                if verdict.ok:
+                    survivors.append((key, blob))
+                    continue
+                with self._lock:
+                    self._prescreen_rejects += len(key_indices[key])
+                for index in key_indices[key]:
+                    results[index] = BatchItem(index, None, str(verdict))
+            pending = survivors
 
         jobs = [(job_id, blob)
                 for job_id, (__, blob) in enumerate(pending)]
@@ -315,7 +393,8 @@ class ExtensionLoader:
         with self._lock:
             return LoaderStats(self._loads, self._hits, self._misses,
                                self._evictions, len(self._cache),
-                               self.capacity)
+                               self.capacity, self._prescreen_checks,
+                               self._prescreen_rejects)
 
     # -- negotiation -----------------------------------------------------
 
@@ -331,9 +410,13 @@ class ExtensionLoader:
         contract.
         """
         negotiated = accept_policy(self.policy, proposal)
+        # The explicit analysis context (if any) described *this* policy's
+        # regions; the negotiated loader re-derives its own from the new
+        # policy rather than inheriting a stale one.
         return ExtensionLoader(negotiated,
                                self.capacity if capacity is None
-                               else capacity)
+                               else capacity,
+                               prescreen=self.prescreen)
 
 
 def _serial_validate(policy: SafetyPolicy, job: tuple[int, bytes]

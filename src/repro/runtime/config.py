@@ -24,7 +24,19 @@ class RuntimeConfig:
 
     ``shards``            modeled cores (worker threads in :meth:`serve`)
     ``cycle_budget``      per-invocation cycle cap; ``None`` disables —
-                          overruns fault the extension (liveness policy)
+                          overruns fault the extension (liveness policy);
+                          the string ``"auto"`` derives each extension's
+                          budget from its static WCET bound at admission
+                          (:mod:`repro.analysis.wcet`), falling back to
+                          unbudgeted for extensions the analysis cannot
+                          bound
+    ``budget_slack``      headroom on auto budgets: the budget is
+                          ``ceil(wcet * (1 + budget_slack))``; 0.0 sets
+                          the budget to the exact bound, which is still
+                          verdict-preserving (the bound is sound for the
+                          engine's block-granular accounting)
+    ``prescreen``         run the static-analysis fast-reject pass in
+                          the loader before full PCC validation
     ``fault_threshold``   consecutive faults before quarantine; ``None``
                           never quarantines
     ``downgrade_unproven``  admit proof-less binaries onto the *checked*
@@ -35,7 +47,9 @@ class RuntimeConfig:
     """
 
     shards: int = 1
-    cycle_budget: int | None = None
+    cycle_budget: int | str | None = None
+    budget_slack: float = 0.0
+    prescreen: bool = False
     fault_threshold: int | None = 3
     downgrade_unproven: bool = False
     enforce_contract: bool = True
@@ -51,7 +65,26 @@ class RuntimeConfig:
     def __post_init__(self) -> None:
         if self.shards < 1:
             raise ValueError("need at least one shard")
-        if self.cycle_budget is not None and self.cycle_budget < 1:
-            raise ValueError("cycle budget must be positive")
+        budget = self.cycle_budget
+        if isinstance(budget, str):
+            if budget != "auto":
+                raise ValueError(
+                    f"cycle budget must be a positive int, None, or "
+                    f"'auto'; got {budget!r}")
+        elif isinstance(budget, bool):
+            # bool is an int subclass; True would silently mean "1 cycle".
+            raise ValueError("cycle budget must be a positive int, None, "
+                             "or 'auto'; got a bool")
+        elif budget is not None:
+            if not isinstance(budget, int):
+                raise ValueError(
+                    f"cycle budget must be a positive int, None, or "
+                    f"'auto'; got {type(budget).__name__}")
+            if budget < 1:
+                raise ValueError("cycle budget must be positive")
+        if not isinstance(self.budget_slack, (int, float)) \
+                or isinstance(self.budget_slack, bool) \
+                or self.budget_slack < 0:
+            raise ValueError("budget slack must be a non-negative number")
         if self.fault_threshold is not None and self.fault_threshold < 1:
             raise ValueError("fault threshold must be positive")

@@ -83,6 +83,12 @@ class RuntimeExtension:
         self.checked = checked
         self.engine: ExecutionEngine | None = None
         self.shard_engines: list[ExecutionEngine] | None = None
+        # Per-extension invocation budget, resolved at admission: a
+        # fixed config value, a WCET-derived bound (cycle_budget="auto"),
+        # or None for unbudgeted dispatch.  ``wcet_bound`` records the
+        # raw static bound when one was computed (telemetry).
+        self.cycle_budget: int | None = None
+        self.wcet_bound: int | None = None
         self.state = ExtensionState.ACTIVE
         self.active = True
         self.quarantines = 0
@@ -152,4 +158,6 @@ class RuntimeExtension:
             p50_cycles=percentile(samples, 0.50),
             p99_cycles=percentile(samples, 0.99),
             last_fault=self.last_fault,
+            cycle_budget=self.cycle_budget,
+            wcet_cycles=self.wcet_bound,
         )

@@ -97,7 +97,8 @@ class PacketRuntime:
                  config: RuntimeConfig | None = None) -> None:
         self.policy = policy
         self.config = config or RuntimeConfig()
-        self.loader = ExtensionLoader(policy, self.config.cache_capacity)
+        self.loader = ExtensionLoader(policy, self.config.cache_capacity,
+                                      prescreen=self.config.prescreen)
         self.shards = [Shard(index, self.config)
                        for index in range(self.config.shards)]
         self._extensions: dict[str, RuntimeExtension] = {}
@@ -134,8 +135,34 @@ class PacketRuntime:
                 reservoir_capacity=config.reservoir_capacity)
             extension.engine = ExecutionEngine(
                 report.program, config.cost_model, config.max_steps)
+        self._resolve_budget(extension)
         self._extensions[name] = extension
         return extension
+
+    def _resolve_budget(self, extension: RuntimeExtension) -> None:
+        """Fix the extension's per-invocation budget at admission.
+
+        ``cycle_budget="auto"`` asks the static analyzer for the
+        extension's WCET under this runtime's policy and cost model.
+        The bound is sound for the engine's block-granular accounting,
+        so an auto budget can never fire on a run the unbudgeted engine
+        would complete — verdicts are bit-identical.  Extensions the
+        analysis cannot bound (irreducible flow, unprovable loops) fall
+        back to unbudgeted dispatch; ``wcet_bound`` stays None and the
+        operator can see that in telemetry.
+        """
+        config = self.config
+        if config.cycle_budget != "auto":
+            extension.cycle_budget = config.cycle_budget
+            return
+        from repro.analysis.intervals import context_for_policy
+        from repro.analysis.wcet import estimate_wcet
+
+        report = estimate_wcet(extension.program,
+                               context_for_policy(self.policy),
+                               config.cost_model)
+        extension.wcet_bound = report.bound
+        extension.cycle_budget = report.budget(config.budget_slack)
 
     def _attach_checked(self, name: str, blob: bytes,
                         digest: str) -> RuntimeExtension:

@@ -81,7 +81,6 @@ class Shard:
         benchmark path keeps only counters.
         """
         config = self.config
-        budget = config.cycle_budget
         threshold = config.fault_threshold
         shard_index = self.index
         rebind = self.rebind
@@ -103,6 +102,9 @@ class Shard:
                 else:
                     engine = extension.engine
                 counters.packets_in += 1
+                # Budgets are per extension, resolved at admission
+                # (fixed config value or WCET-derived under "auto").
+                budget = extension.cycle_budget
                 try:
                     if budget is None:
                         result = engine.run(memory, registers)

@@ -83,6 +83,10 @@ class ExtensionSnapshot:
     p50_cycles: float
     p99_cycles: float
     last_fault: str | None
+    #: The resolved per-invocation budget (None = unbudgeted) and the
+    #: static WCET bound it came from when ``cycle_budget="auto"``.
+    cycle_budget: int | None = None
+    wcet_cycles: int | None = None
 
     def to_dict(self) -> dict:
         return {
@@ -99,6 +103,8 @@ class ExtensionSnapshot:
             "p50_cycles": self.p50_cycles,
             "p99_cycles": self.p99_cycles,
             "last_fault": self.last_fault,
+            "cycle_budget": self.cycle_budget,
+            "wcet_cycles": self.wcet_cycles,
         }
 
 

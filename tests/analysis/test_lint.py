@@ -1,0 +1,115 @@
+"""Lint diagnostics: each code fires on its canonical trigger, stays
+quiet on the paper filters, and the report structure is stable."""
+
+from repro.alpha.isa import Branch, Operate, Lit, Reg, Ret
+from repro.alpha.parser import parse_program
+from repro.analysis import lint_program
+from repro.filters.programs import FILTERS
+
+
+def test_paper_filters_lint_clean():
+    for spec in FILTERS:
+        report = lint_program(spec.program)
+        assert report.clean, (spec.name, list(report))
+
+
+def test_invalid_branch_target_is_error():
+    program = (Branch("BEQ", Reg(1), 10), Ret())
+    report = lint_program(program)
+    (diag,) = report.by_code("invalid-branch-target")
+    assert diag.severity == "error"
+    assert diag.pc == 0
+    assert not report.clean
+
+
+def test_fall_through_end_is_error():
+    program = (Operate("ADDQ", Reg(1), Lit(1), Reg(4)),)
+    report = lint_program(program)
+    assert report.by_code("fall-through-end")
+    assert report.errors
+
+
+def test_missing_ret_on_infinite_loop():
+    report = lint_program(parse_program("loop: ADDQ r4, 1, r4\nBR loop"))
+    (diag,) = report.by_code("missing-ret")
+    assert diag.severity == "error"
+
+
+def test_unreachable_ret_does_not_satisfy_missing_ret():
+    # The only RET sits in an unreachable block.
+    report = lint_program(parse_program("""
+ loop:  BR loop
+        RET
+    """))
+    assert report.by_code("missing-ret")
+    assert report.by_code("unreachable-block")
+
+
+def test_unreachable_block_is_warning():
+    report = lint_program(parse_program("""
+        RET
+        ADDQ r1, 1, r1
+        RET
+    """))
+    (diag,) = report.by_code("unreachable-block")
+    assert diag.severity == "warning"
+    assert diag.pc == 1
+
+
+def test_dead_store_detected():
+    # r4 is written twice with no intervening read: first write is dead.
+    report = lint_program(parse_program("""
+        LDA r4, 1(r4)
+        LDA r4, 2(r5)
+        ADDQ r4, 0, r0
+        RET
+    """))
+    (diag,) = report.by_code("dead-store")
+    assert diag.pc == 0
+
+
+def test_store_read_on_one_branch_is_live():
+    # r4 is read only on the taken arm; liveness must merge both paths.
+    report = lint_program(parse_program("""
+        LDA  r4, 7(r5)
+        BEQ  r1, use
+        RET
+ use:   ADDQ r4, 0, r0
+        RET
+    """))
+    assert report.by_code("dead-store") == ()
+
+
+def test_result_register_is_live_at_ret():
+    report = lint_program(parse_program("LDA r0, 1(r5)\nRET"))
+    assert report.by_code("dead-store") == ()
+
+
+def test_clobbered_input_warning_and_custom_pins():
+    program = parse_program("LDA r1, 8(r1)\nRET")
+    (diag,) = lint_program(program).by_code("clobbered-input")
+    assert diag.severity == "warning"
+    # Pinning nothing silences it (the write is then just a dead store).
+    unpinned = lint_program(program, pinned_registers=())
+    assert unpinned.by_code("clobbered-input") == ()
+
+
+def test_report_sorted_and_stable():
+    program = parse_program("""
+        LDA r1, 8(r1)
+        LDA r2, 8(r2)
+        RET
+        ADDQ r4, 1, r4
+        RET
+    """)
+    first = lint_program(program)
+    second = lint_program(program)
+    assert tuple(first) == tuple(second)
+    pcs = [d.pc for d in first]
+    assert pcs == sorted(pcs)
+    assert len(first) == len(first.errors) + len(first.warnings)
+
+
+def test_empty_program_reports_missing_ret():
+    report = lint_program(())
+    assert report.by_code("missing-ret")

@@ -1,0 +1,161 @@
+"""Prescreen/validation agreement: the fast-reject path rejects only
+what full validation rejects, and never turns away a certifying binary.
+
+Two directions:
+
+* **completeness for certified code** — every blob the prover certifies
+  (the paper filters, the scratch-writer, and freshly generated random
+  filters) sails through the prescreen;
+* **soundness of rejection** — for every corpus blob the prescreen
+  rejects, full validation raises too.  The reverse containment is NOT
+  asserted: validation legitimately rejects far more (anything without
+  a proof), and the prescreen is free to have no opinion.
+"""
+
+import random
+
+import pytest
+
+from repro.alpha.encoding import encode_program
+from repro.alpha.isa import Lit, Operate, Reg
+from repro.alpha.parser import parse_program
+from repro.analysis import prescreen_blob
+from repro.errors import ValidationError
+from repro.pcc import certify
+from repro.pcc.container import PccBinary
+from repro.pcc.validate import validate
+from tests.generators import random_filter_source
+
+
+def _container(source: str) -> bytes:
+    """A proof-less but well-framed PCC container for ``source``."""
+    return PccBinary(encode_program(parse_program(source)),
+                     b"", b"", b"").to_bytes()
+
+
+def _validation_rejects(blob: bytes, policy) -> bool:
+    try:
+        validate(blob, policy)
+        return False
+    except ValidationError:
+        return True
+
+
+# -- certified binaries must pass ---------------------------------------
+
+
+def test_certified_paper_filters_pass_prescreen(certified_filters,
+                                                filter_policy):
+    for name, certified in certified_filters.items():
+        verdict = prescreen_blob(certified.binary.to_bytes(),
+                                 filter_policy)
+        assert verdict.ok, (name, str(verdict))
+
+
+def test_random_certified_filters_pass_prescreen(filter_policy):
+    for seed in range(3):
+        rng = random.Random(seed)
+        source = random_filter_source(rng, blocks=1 + seed)
+        certified = certify(source, filter_policy)
+        verdict = prescreen_blob(certified.binary.to_bytes(),
+                                 filter_policy)
+        assert verdict.ok, (seed, str(verdict))
+
+
+def test_prescreen_has_no_opinion_on_proofless_valid_code(filter_policy):
+    """A structurally fine, memory-safe blob with no proof: prescreen
+    passes (it cannot admit, only decline to reject) while validation
+    rejects it at the proof stage.  This is the asymmetry by design."""
+    blob = _container("LDQ r4, 0(r1)\nCMPEQ r4, 7, r0\nRET")
+    assert prescreen_blob(blob, filter_policy).ok
+    assert _validation_rejects(blob, filter_policy)
+
+
+# -- rejected corpus: prescreen reject implies validation reject --------
+
+_REJECT_CORPUS = [
+    ("truncated-container", lambda: b"\x00\x01\x02"),
+    ("undecodable-code",
+     lambda: PccBinary(b"\xff\xee\xdd\xcc", b"", b"", b"").to_bytes()),
+    # parse_program validates, so the structurally-broken blob is built
+    # from raw instruction tuples (encode_program does not validate).
+    ("fall-off-end", lambda: PccBinary(
+        encode_program((Operate("ADDQ", Reg(1), Lit(1), Reg(4)),)),
+        b"", b"", b"").to_bytes()),
+    ("no-invariant-loop", lambda: _container("""
+        LDA  r4, 5(r4)
+ loop:  SUBQ r4, 1, r4
+        BNE  r4, loop
+        RET
+    """)),
+    ("rogue-store", lambda: _container("STQ r2, 0(r1)\nRET")),
+    ("unaligned-load",
+     lambda: _container("LDA r4, 4(r1)\nLDQ r5, 0(r4)\nRET")),
+    ("null-load", lambda: _container("LDQ r4, 0(r5)\nRET")),
+]
+
+_EXPECTED_STAGE = {
+    "truncated-container": "container",
+    "undecodable-code": "code",
+    # decode_program validates structure itself, so the broken program
+    # surfaces at the decode ("code") stage.
+    "fall-off-end": "code",
+    "no-invariant-loop": "invariants",
+    "rogue-store": "memory",
+    "unaligned-load": "memory",
+    "null-load": "memory",
+}
+
+
+@pytest.mark.parametrize("name,make",
+                         _REJECT_CORPUS, ids=[n for n, _ in _REJECT_CORPUS])
+def test_prescreen_rejects_are_validation_rejects(name, make,
+                                                  filter_policy):
+    blob = make()
+    verdict = prescreen_blob(blob, filter_policy)
+    assert not verdict.ok, name
+    assert verdict.stage == _EXPECTED_STAGE[name], str(verdict)
+    assert _validation_rejects(blob, filter_policy), \
+        f"{name}: prescreen rejected but validation admitted"
+
+
+def test_prescreen_never_raises_on_garbage(filter_policy):
+    for blob in (b"", b"\x00" * 64, bytes(range(256))):
+        verdict = prescreen_blob(blob, filter_policy)
+        assert not verdict.ok
+        assert verdict.stage and verdict.reason
+
+
+#: Same program as the runtime suite's rogue fixture: stores the frame
+#: length through the (read-only) frame base.
+_ROGUE_BLOB = _container("STQ r2, 0(r1)\nADDQ r1, 1, r0\nRET")
+
+
+def test_rogue_blob_rejected_by_both(filter_policy):
+    verdict = prescreen_blob(_ROGUE_BLOB, filter_policy)
+    assert not verdict.ok
+    assert verdict.stage == "memory"
+    assert _validation_rejects(_ROGUE_BLOB, filter_policy)
+
+
+def test_loader_prescreen_matches_direct_prescreen(certified_filters,
+                                                   filter_policy):
+    """The loader's opt-in path agrees with calling prescreen directly:
+    certified blobs load, the rogue blob is rejected with the
+    prescreen's message, and rejections are cached."""
+    from repro.pcc.loader import ExtensionLoader
+
+    loader = ExtensionLoader(filter_policy, prescreen=True)
+    blob = certified_filters["filter1"].binary.to_bytes()
+    extension = loader.load(blob)
+    assert extension.program
+
+    with pytest.raises(ValidationError) as excinfo:
+        loader.load(_ROGUE_BLOB)
+    assert "prescreen[memory]" in str(excinfo.value)
+    with pytest.raises(ValidationError):
+        loader.load(_ROGUE_BLOB)
+
+    stats = loader.stats()
+    assert stats.prescreen_checks >= 2
+    assert stats.prescreen_rejects == 2

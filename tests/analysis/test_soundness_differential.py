@@ -1,0 +1,176 @@
+"""Differential soundness: the static analyzer never lies about a
+concrete execution.
+
+Random programs — the same wild generator the engine-differential suite
+uses, covering loops, unsafe accesses, and invalid branch targets — run
+on the concrete :class:`Machine` with a trace hook.  Every traced
+``(pc, registers)`` pair must sit inside the analyzer's interval state
+for that pc; every concrete memory address must sit inside the flagged
+access's interval; completed runs must return a value inside
+``exit_interval`` and spend no more cycles than a finite WCET bound.
+
+The analysis context mirrors the concrete entry exactly (same register
+file, same mapped regions), so any containment failure is an unsound
+transfer function, not a modelling gap.
+"""
+
+import random
+import struct
+
+from hypothesis import given, settings, strategies as st
+
+from repro.alpha.engine import ExecutionEngine
+from repro.alpha.machine import Machine, Memory
+from repro.alpha.parser import parse_program
+from repro.analysis import (
+    AnalysisContext,
+    analyze_intervals,
+    estimate_wcet,
+    packet_filter_context,
+)
+from repro.analysis.intervals import const
+from repro.errors import MachineError
+from repro.filters.policy import filter_registers, packet_memory
+from repro.perf.cost import ALPHA_175
+from tests.generators import random_filter_source, random_machine_program
+
+_BUF_BASE = 0x1000
+_RO_BASE = 0x2000
+_REGISTERS = {1: _BUF_BASE, 2: _RO_BASE, 3: _BUF_BASE + 64}
+
+#: Context describing the differential harness environment exactly.
+_CONTEXT = AnalysisContext(
+    name="differential",
+    entry={index: const(value) for index, value in _REGISTERS.items()},
+    readable=((_BUF_BASE, 128), (_RO_BASE, 16)),
+    writable=((_BUF_BASE, 128),),
+)
+
+
+def _memory() -> Memory:
+    memory = Memory()
+    memory.map_region(_BUF_BASE, bytes(128), writable=True, name="buf")
+    memory.map_region(_RO_BASE, struct.pack("<QQ", 7, 1 << 63),
+                      writable=False, name="ro")
+    return memory
+
+
+def _assert_contained(analysis, pc, regs, label):
+    state = analysis.state_at(pc)
+    assert state is not None, \
+        f"{label}: concrete execution reached pc {pc} " \
+        "which the analyzer thinks is unreachable"
+    for index, value in enumerate(regs):
+        assert value in state[index], \
+            f"{label}: at pc {pc}, r{index} = {value:#x} " \
+            f"outside {state[index]}"
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(min_value=0, max_value=2**32 - 1),
+       st.integers(min_value=1, max_value=24))
+def test_traced_states_within_intervals(seed, length):
+    """Every concrete register file is inside the abstract state."""
+    program = random_machine_program(random.Random(seed), length)
+    analysis = analyze_intervals(program, _CONTEXT)
+    machine = Machine(
+        program, _memory(), dict(_REGISTERS), ALPHA_175,
+        max_steps=2000,
+        trace_hook=lambda pc, regs: _assert_contained(
+            analysis, pc, regs, f"seed {seed}"))
+    try:
+        result = machine.run()
+    except MachineError:
+        return  # faulting runs still had every traced state checked
+    assert result.value in analysis.exit_interval(0), \
+        f"seed {seed}: r0 = {result.value:#x} " \
+        f"outside {analysis.exit_interval(0)}"
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(min_value=0, max_value=2**32 - 1),
+       st.integers(min_value=1, max_value=24))
+def test_concrete_addresses_within_access_intervals(seed, length):
+    """Every address the engine checks is inside the flagged interval."""
+    program = random_machine_program(random.Random(seed), length)
+    analysis = analyze_intervals(program, _CONTEXT)
+    by_pc = {(access.pc, access.kind): access
+             for access in analysis.accesses}
+    observed = []
+
+    def check(kind):
+        def hook(address, pc):
+            observed.append((pc, kind, address))
+        return hook
+
+    engine = ExecutionEngine(program, cost_model=ALPHA_175,
+                             max_steps=2000,
+                             check_read=check("rd"),
+                             check_write=check("wr"))
+    try:
+        engine.run(_memory(), dict(_REGISTERS))
+    except MachineError:
+        pass
+    for pc, kind, address in observed:
+        access = by_pc.get((pc, kind))
+        assert access is not None, \
+            f"seed {seed}: unflagged {kind} access at pc {pc}"
+        assert address in access.interval, \
+            f"seed {seed}: {kind} at pc {pc} hit {address:#x} " \
+            f"outside {access.interval}"
+        # A "safe" verdict is a proof: the concrete address must be
+        # inside a declared readable (or writable) region.
+        if access.verdict == "safe":
+            regions = (_CONTEXT.readable if kind == "rd"
+                       else _CONTEXT.writable)
+            assert any(base <= address and address + 8 <= base + size
+                       for base, size in regions), \
+                f"seed {seed}: 'safe' {kind} at pc {pc} " \
+                f"escaped to {address:#x}"
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(min_value=0, max_value=2**32 - 1),
+       st.integers(min_value=1, max_value=24))
+def test_cycles_never_exceed_finite_wcet(seed, length):
+    """Completed runs stay within a finite WCET bound (engine charges
+    whole blocks up front, exactly what the bound sums)."""
+    program = random_machine_program(random.Random(seed), length)
+    report = estimate_wcet(program, _CONTEXT, ALPHA_175)
+    if not report.is_bounded:
+        return
+    engine = ExecutionEngine(program, cost_model=ALPHA_175,
+                             max_steps=100_000)
+    try:
+        result = engine.run(_memory(), dict(_REGISTERS))
+    except MachineError:
+        return
+    assert result.cycles <= report.bound, \
+        f"seed {seed}: ran {result.cycles} cycles, bound {report.bound}"
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=0, max_value=2**32 - 1),
+       st.integers(min_value=1, max_value=6))
+def test_generated_filters_sound_under_packet_policy(seed, blocks):
+    """The well-formed filter generator, under the real packet context:
+    traced states contained, cycles within the (finite) bound."""
+    rng = random.Random(seed)
+    program = parse_program(random_filter_source(rng, blocks))
+    context = packet_filter_context()
+    analysis = analyze_intervals(program, context)
+    report = estimate_wcet(program, context, ALPHA_175,
+                           analysis=analysis)
+    assert report.is_bounded  # generator emits forward branches only
+
+    packet = rng.randbytes(64 + 8 * rng.randrange(8))
+    machine = Machine(
+        program, packet_memory(packet),
+        filter_registers(len(packet)), ALPHA_175,
+        trace_hook=lambda pc, regs: _assert_contained(
+            analysis, pc, regs, f"seed {seed}"))
+    result = machine.run()
+    assert result.cycles <= report.bound
+    assert result.value in analysis.exit_interval(0)
+    for access in analysis.accesses:
+        assert access.verdict == "safe", access

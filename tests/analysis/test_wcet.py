@@ -1,0 +1,128 @@
+"""WCET estimation: exact on the paper filters, bounded on provable
+loops, honestly Unbounded otherwise, and sound as a cycle budget."""
+
+from repro.alpha.parser import parse_program
+from repro.analysis import (
+    estimate_wcet,
+    packet_filter_context,
+    checksum_context,
+)
+from repro.filters.checksum import CHECKSUM_SOURCE
+from repro.filters.policy import filter_registers, packet_memory
+from repro.filters.programs import FILTERS
+from repro.perf.cost import ALPHA_175
+from repro.alpha.machine import Machine
+
+
+def test_all_paper_filters_get_finite_exact_bounds():
+    ctx = packet_filter_context()
+    for spec in FILTERS:
+        report = estimate_wcet(spec.program, ctx)
+        assert report.classification == "exact", spec.name
+        assert report.is_bounded, spec.name
+        assert report.bound > 0
+
+
+def test_filter1_bound_by_hand():
+    # LDQ(3) + EXTWL(1) + CMPEQ(1) + RET(2) = 7 cycles.
+    report = estimate_wcet(FILTERS[0].program, packet_filter_context())
+    assert report.bound == 7
+
+
+def test_filter_bounds_dominate_concrete_runs():
+    """The bound is >= the observed cycles on real packets."""
+    ctx = packet_filter_context()
+    frames = [
+        bytes(64),
+        bytes(range(64)) + bytes(1024),
+        b"\x00" * 12 + b"\x08\x00" + bytes(100),  # IP ethertype
+    ]
+    for spec in FILTERS:
+        bound = estimate_wcet(spec.program, ctx).bound
+        for frame in frames:
+            machine = Machine(spec.program, packet_memory(frame),
+                              filter_registers(len(frame)), ALPHA_175)
+            result = machine.run()
+            assert result.cycles <= bound, (spec.name, len(frame))
+
+
+def test_countdown_loop_bound_is_tight():
+    # LDA(1) + 5 x (SUBQ 1 + BNE 2) + RET(2) = 18 cycles exactly.
+    program = parse_program("""
+        LDA  r4, 5(r4)
+ loop:  SUBQ r4, 1, r4
+        BNE  r4, loop
+        RET
+    """)
+    report = estimate_wcet(program)
+    assert report.classification == "bounded"
+    assert report.bound == 18
+    (loop,) = report.loop_bounds
+    assert loop.trips == 4  # extra passes beyond the first
+    # And the concrete machine agrees.
+    from repro.alpha.machine import Memory
+    result = Machine(program, Memory(), None, ALPHA_175).run()
+    assert result.cycles == 18
+
+
+def test_infinite_loop_is_unbounded():
+    report = estimate_wcet(parse_program("""
+ loop:  ADDQ r4, 1, r4
+        BR   loop
+    """))
+    assert report.classification == "unbounded"
+    assert report.bound is None
+    assert not report.is_bounded
+
+
+def test_data_dependent_loop_is_unbounded():
+    # The checksum loop's trip count depends on r2 (up to 64K/8 passes),
+    # beyond the abstract round cap: honestly Unbounded.
+    report = estimate_wcet(parse_program(CHECKSUM_SOURCE),
+                           checksum_context())
+    assert report.classification == "unbounded"
+    assert report.loop_bounds[0].trips is None
+
+
+def test_budget_slack_math():
+    report = estimate_wcet(FILTERS[0].program, packet_filter_context())
+    assert report.budget() == report.bound
+    assert report.budget(0.25) == 9   # ceil(7 * 1.25)
+    assert report.budget(1.0) == 14
+
+
+def test_unbounded_budget_is_none():
+    report = estimate_wcet(parse_program("loop: BR loop"))
+    assert report.budget() is None
+    assert report.budget(0.5) is None
+
+
+def test_branchy_program_takes_longest_path():
+    # Taken arm costs more than fall-through; bound follows the max.
+    program = parse_program("""
+        BEQ  r1, slow
+        RET
+ slow:  MULQ r2, r3, r4
+        RET
+    """)
+    report = estimate_wcet(program)
+    # BEQ(2) + MULQ(23) + RET(2) = 27 on the slow path.
+    assert report.bound == 27
+
+
+def test_loop_unreachable_from_entry_contributes_nothing():
+    program = parse_program("""
+        RET
+ loop:  SUBQ r4, 1, r4
+        BNE  r4, loop
+        RET
+    """)
+    report = estimate_wcet(program)
+    assert report.is_bounded
+    assert report.bound == 2  # just the RET
+
+
+def test_empty_program_is_trivially_exact():
+    report = estimate_wcet(())
+    assert report.bound == 0
+    assert report.classification == "exact"

@@ -127,6 +127,50 @@ class TestCli:
                      "--inject-faults", "0.1"]) == 0
         assert "contract drops" in capsys.readouterr().out
 
+    def test_analyze_certified_binary(self, certified_file, capsys):
+        assert main(["analyze", str(certified_file),
+                     "--policy", "packet-filter"]) == 0
+        out = capsys.readouterr().out
+        assert "basic blocks:" in out
+        assert "memory accesses:" in out
+        assert "safe" in out
+        assert "auto cycle budget" in out
+        assert "lint: clean" in out
+        assert "prescreen" in out  # containers get a prescreen verdict
+
+    def test_analyze_json_report(self, certified_file, tmp_path, capsys):
+        report = tmp_path / "report.json"
+        assert main(["analyze", str(certified_file), "--slack", "0.25",
+                     "--json", str(report)]) == 0
+        payload = json.loads(report.read_text())
+        assert payload["slack"] == 0.25
+        assert payload["auto_budget"] is not None
+        assert payload["wcet"]["classification"] == "exact"
+
+    def test_analyze_raw_code_with_lint_errors(self, tmp_path, capsys):
+        from repro.alpha.encoding import encode_program
+        from repro.alpha.parser import parse_program
+
+        raw = tmp_path / "spin.bin"
+        raw.write_bytes(encode_program(parse_program(
+            "loop: BR loop\nRET")))
+        assert main(["analyze", str(raw)]) == 1
+        out = capsys.readouterr().out
+        assert "unbudgeted dispatch" in out  # unbounded loop, no budget
+        assert "missing-ret" in out
+        assert "unreachable-block" in out
+
+    def test_serve_auto_budget(self, capsys):
+        assert main(["serve", "--builtin-filters", "--packets", "100",
+                     "--budget", "auto", "--budget-slack", "0.25"]) == 0
+        out = capsys.readouterr().out
+        assert "budget" in out and "wcet" in out
+
+    def test_serve_rejects_malformed_budget(self):
+        with pytest.raises(SystemExit):
+            main(["serve", "--builtin-filters", "--packets", "10",
+                  "--budget", "fast"])
+
     def test_unknown_policy(self, tmp_path):
         source = tmp_path / "f.s"
         source.write_text(FILTER1)
