@@ -1,0 +1,184 @@
+"""Supervised control plane: recovery latency and steady-state cost.
+
+The robustness machinery (shard supervisor, shadow canaries, quarantine)
+only earns its keep if it is effectively free when nothing is wrong and
+fast when something is.  This benchmark measures both sides:
+
+* **steady-state overhead** — the same trace through the same filters,
+  plain ``serve()`` versus ``serve_supervised()`` with no faults.  The
+  supervisor is host-side machinery (queues, threads, health checks):
+  it must cost **zero modeled cycles** — the acceptance bar is <2%
+  modeled-cycle overhead, and the expected value is exactly 0.  Wall
+  time is reported as the usual informational column (queue hand-off
+  costs real Python time; modeled cycles are the figure of merit);
+* **verdict stability** — accept counts under supervision must be
+  bit-identical to plain dispatch (supervision may never change
+  semantics);
+* **crash recovery** — the same trace with seeded worker crashes
+  injected mid-stream: every packet still dispatched, and the measured
+  MTTR (crash detection -> restarted worker) is reported per incident;
+* **control-plane decision latency** — how long a shadow canary takes
+  to roll back a divergent candidate and to promote a clean one (wall
+  time from upgrade to decision, driven by sampled packets).
+
+Scale comes from the shared ``--packets`` / ``PCC_BENCH_PACKETS`` quick
+mode.  Results land in ``results/chaos_recovery.txt`` and
+``results/BENCH_chaos.json``.
+"""
+
+import random
+
+from repro.pcc import certify
+from repro.runtime import (
+    CanaryConfig,
+    InjectedCrash,
+    PacketRuntime,
+    RuntimeConfig,
+)
+
+SHARDS = 4
+#: Modeled-cycle overhead bar for supervision (expected: exactly 0).
+OVERHEAD_BAR = 0.02
+
+
+def _runtime(filter_policy, **overrides) -> PacketRuntime:
+    defaults = dict(shards=SHARDS, cycle_budget="auto", fault_threshold=3,
+                    restart_backoff=0.002, restart_backoff_cap=0.02,
+                    health_interval=0.001)
+    defaults.update(overrides)
+    return PacketRuntime(filter_policy, RuntimeConfig(**defaults))
+
+
+def _attach_filters(runtime, certified_filters) -> None:
+    for name, certified in certified_filters.items():
+        runtime.attach(name, certified.binary.to_bytes())
+
+
+def test_chaos_recovery(benchmark, filter_policy, certified_filters,
+                        trace, record, record_json):
+    results = {}
+
+    def campaign():
+        # -- steady state: plain vs supervised, no faults ----------------
+        plain = _runtime(filter_policy)
+        _attach_filters(plain, certified_filters)
+        plain_report = plain.serve(trace)
+        plain_cycles = max(plain_report.shard_cycles)
+
+        supervised = _runtime(filter_policy)
+        _attach_filters(supervised, certified_filters)
+        sup_report = supervised.serve_supervised(trace)
+        sup_cycles = max(sup_report.shard_cycles)
+
+        assert sup_report.healthy, "clean supervised run must be healthy"
+        overhead = (sup_cycles - plain_cycles) / plain_cycles
+        plain_accepts = {ext.name: ext.accepted
+                         for ext in plain.snapshot().extensions}
+        sup_accepts = {ext.name: ext.accepted
+                       for ext in supervised.snapshot().extensions}
+        assert sup_accepts == plain_accepts, \
+            "supervision changed verdicts"
+
+        # -- crash recovery ---------------------------------------------
+        rng = random.Random(0xC4A54)
+        schedule = set(rng.sample(range(len(trace)),
+                                  max(3, len(trace) // 200)))
+        # Every crash must be recoverable: budget restarts to the worst
+        # case of the whole schedule landing on one shard.
+        crashed = _runtime(filter_policy, max_restarts=len(schedule))
+        _attach_filters(crashed, certified_filters)
+        fired = set()
+
+        def hook(shard_index, sequence):
+            if sequence in schedule and sequence not in fired:
+                fired.add(sequence)
+                raise InjectedCrash(f"bench crash at packet {sequence}")
+
+        crash_report = crashed.serve_supervised(trace, fault_hook=hook)
+        assert crash_report.dispatched == crash_report.packets, \
+            "a crash lost packets"
+        assert not crash_report.failed_shards
+
+        # -- control-plane decision latency ------------------------------
+        from repro.filters.programs import FILTER1
+        base = FILTER1.source.rstrip().rsplit("RET", 1)[0]
+        benign = certify(base + "        ADDQ   r3, 0, r3\n        RET\n",
+                         filter_policy).binary.to_bytes()
+        divergent = certify(
+            base + "        CMPEQ  r0, 0, r0\n        RET\n",
+            filter_policy).binary.to_bytes()
+
+        canary_host = _runtime(filter_policy)
+        _attach_filters(canary_host, certified_filters)
+        shadow = canary_host.upgrade(
+            "filter1", divergent,
+            CanaryConfig(sample_fraction=1.0, promote_after=10 ** 9))
+        canary_host.dispatch(trace[:64])
+        rollback = shadow.record()
+        assert rollback.state == "rolled-back"
+
+        shadow = canary_host.upgrade(
+            "filter1", benign,
+            CanaryConfig(sample_fraction=1.0, promote_after=128))
+        canary_host.dispatch(trace)
+        promotion = shadow.record()
+        assert promotion.state == "promoted"
+
+        results.update({
+            "packets": plain_report.packets,
+            "shards": SHARDS,
+            "plain_cycles": plain_cycles,
+            "supervised_cycles": sup_cycles,
+            "overhead": overhead,
+            "plain_wall_seconds": plain_report.wall_seconds,
+            "supervised_wall_seconds": sup_report.wall_seconds,
+            "accepts": plain_accepts,
+            "crashes": crash_report.crashes,
+            "restarts": crash_report.restarts,
+            "mttr_seconds": list(crash_report.mttr_seconds),
+            "mean_mttr_seconds": crash_report.mean_mttr_seconds,
+            "rollback_decision_seconds": rollback.decision_seconds,
+            "promotion_decision_seconds": promotion.decision_seconds,
+            "promotion_clean_packets": promotion.clean,
+        })
+
+    benchmark.pedantic(campaign, rounds=1, iterations=1)
+
+    mttr = results["mttr_seconds"]
+    lines = [
+        f"{len(certified_filters)} extensions, {results['packets']} "
+        f"packets, {SHARDS} shards, auto budgets, fault threshold 3",
+        "",
+        "steady state (no faults):",
+        f"  modeled cycles  plain {results['plain_cycles']:>12,}   "
+        f"supervised {results['supervised_cycles']:>12,}   "
+        f"overhead {results['overhead']:+.3%} "
+        f"(bar: <{OVERHEAD_BAR:.0%})",
+        f"  python wall     plain "
+        f"{results['plain_wall_seconds'] * 1e3:>10.1f} ms  "
+        f"supervised {results['supervised_wall_seconds'] * 1e3:>10.1f} ms "
+        f"(informational; supervision is host-side)",
+        "  verdicts bit-identical under supervision",
+        "",
+        f"crash recovery ({results['crashes']} injected crashes, "
+        f"{results['restarts']} restarts, 0 packets lost):",
+    ]
+    if mttr:
+        lines.append(
+            f"  MTTR mean {results['mean_mttr_seconds'] * 1e3:.1f} ms, "
+            f"min {min(mttr) * 1e3:.1f} ms, max {max(mttr) * 1e3:.1f} ms")
+    lines += [
+        "",
+        "control-plane decisions (sample 100%):",
+        f"  divergent candidate rolled back in "
+        f"{results['rollback_decision_seconds'] * 1e3:.1f} ms "
+        f"(first divergent packet)",
+        f"  clean candidate promoted in "
+        f"{results['promotion_decision_seconds'] * 1e3:.1f} ms "
+        f"({results['promotion_clean_packets']} clean packets)",
+    ]
+    record("chaos_recovery", lines)
+    record_json("chaos", results)
+
+    assert results["overhead"] < OVERHEAD_BAR, \
+        f"supervision cost {results['overhead']:.3%} modeled cycles"

@@ -18,6 +18,14 @@ Subcommands mirror the paper's workflow:
   CFG, run the interval abstract interpreter against the policy's
   memory regions, bound the worst-case cycle count, and lint — all
   ahead of time, without executing or even validating the code;
+* ``pcc upgrade <live> <candidate>`` — the supervised control plane:
+  attach the live binary, admit the candidate as a shadow canary, replay
+  a trace, and report the promotion/rollback decision;
+* ``pcc chaos`` — the fault-injection harness: seeded faults at every
+  layer (corrupted containers, adversarial packets, budget overruns,
+  shard-worker crashes, wedged/killed validation-pool workers, divergent
+  upgrades) with recovery invariants asserted; nonzero exit on any
+  broken invariant;
 * ``pcc disasm <binary>`` — decode the native-code section;
 * ``pcc layout <binary>`` — print the Figure 7 section offsets;
 * ``pcc filter <name> <trace-size>`` — certify one of the paper's four
@@ -202,6 +210,99 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         Path(args.json).write_text(snapshot.to_json() + "\n")
         print(f"\nstats snapshot -> {args.json}")
     return 0
+
+
+def _cmd_upgrade(args: argparse.Namespace) -> int:
+    from repro.filters.trace import TraceConfig, generate_trace
+    from repro.runtime import CanaryConfig, PacketRuntime, RuntimeConfig
+
+    policy = _load_policy(args.policy)
+    runtime = PacketRuntime(policy, RuntimeConfig(
+        shards=args.shards, cycle_budget=args.budget))
+    name = Path(args.live).stem
+    try:
+        live = runtime.attach(name, Path(args.live).read_bytes())
+        print(f"  ATTACHED {name} v{live.version} "
+              f"(digest {live.digest[:12]})")
+        shadow = runtime.upgrade(
+            name, Path(args.candidate).read_bytes(),
+            CanaryConfig(sample_fraction=args.sample,
+                         promote_after=args.promote_after,
+                         seed=args.seed))
+    except ValueError as error:
+        raise SystemExit(f"error: {error}")
+    candidate = shadow.candidate
+    print(f"  SHADOW   {name} v{candidate.version} "
+          f"(digest {candidate.digest[:12]}, sampling "
+          f"{args.sample:.0%}, promote after {args.promote_after} clean)")
+
+    trace = generate_trace(TraceConfig(packets=args.packets,
+                                       seed=args.seed))
+    runtime.serve(trace)
+    record = shadow.record()
+    if record.state == "shadow":
+        print(f"  UNDECIDED after {record.sampled} sampled packets "
+              f"({record.clean} clean); rolling back")
+        record = runtime.rollback(name)
+
+    print(f"\nupgrade {name}: v{record.from_version} -> "
+          f"v{record.to_version}  [{record.state.upper()}]")
+    print(f"  sampled {record.sampled}, clean {record.clean}, "
+          f"divergences {record.divergences}, faults {record.faults}")
+    if record.reason:
+        print(f"  reason: {record.reason}")
+    print(f"  decision after {record.decision_seconds * 1e3:.1f} ms; "
+          f"now serving v{runtime.extension(name).version}")
+    return 0 if record.state == "promoted" else 1
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.runtime.chaos import ChaosConfig, run_chaos
+
+    packets = args.packets
+    rounds = args.mutation_rounds
+    if args.quick:
+        packets = min(packets, 150)
+        rounds = min(rounds, 2)
+    try:
+        config = ChaosConfig(
+            packets=packets, seed=args.seed, shards=args.shards,
+            mutation_rounds=rounds,
+            scenarios=tuple(args.scenario) if args.scenario else None)
+    except ValueError as error:
+        raise SystemExit(f"error: {error}")
+    report = run_chaos(config)
+
+    print(f"chaos campaign: {report.packets} packets, "
+          f"{report.shards} shard(s), seed {report.seed:#x}\n")
+    for scenario in report.scenarios:
+        mark = "PASS" if scenario.passed else "FAIL"
+        print(f"  {mark}  {scenario.name:22} "
+              f"({scenario.wall_seconds:.2f}s)")
+        for check, ok, detail in scenario.checks:
+            if args.verbose or not ok:
+                line = f"          {'ok    ' if ok else 'BROKEN'} {check}"
+                if detail:
+                    line += f": {detail}"
+                print(line)
+    mttr = report.mttr_seconds
+    verdict = "ALL INVARIANTS HELD" if report.passed \
+        else "INVARIANTS BROKEN"
+    print(f"\n{verdict}: "
+          f"{sum(s.passed for s in report.scenarios)}"
+          f"/{len(report.scenarios)} scenarios in "
+          f"{report.wall_seconds:.1f}s")
+    if mttr:
+        print(f"  recovery: {len(mttr)} incident(s), mean MTTR "
+              f"{sum(mttr) / len(mttr) * 1e3:.1f} ms, worst "
+              f"{max(mttr) * 1e3:.1f} ms")
+    if args.json:
+        Path(args.json).write_text(
+            json.dumps(report.to_dict(), indent=2, sort_keys=True) + "\n")
+        print(f"  chaos report -> {args.json}")
+    return 0 if report.passed else 1
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
@@ -400,6 +501,39 @@ def main(argv: list[str] | None = None) -> int:
     p_serve.add_argument("--json", metavar="PATH",
                          help="write the stats snapshot as JSON")
     p_serve.set_defaults(fn=_cmd_serve)
+
+    p_upgrade = sub.add_parser(
+        "upgrade", help="hot-swap a binary behind a shadow canary")
+    p_upgrade.add_argument("live", help="the currently-serving PCC binary")
+    p_upgrade.add_argument("candidate", help="the replacement PCC binary")
+    p_upgrade.add_argument("--policy", default="packet-filter")
+    p_upgrade.add_argument("--packets", type=int, default=2000)
+    p_upgrade.add_argument("--seed", type=int, default=19961028)
+    p_upgrade.add_argument("--shards", type=int, default=2)
+    p_upgrade.add_argument("--budget", type=_budget_value, default="auto",
+                           help="per-invocation cycle budget (int, 'auto')")
+    p_upgrade.add_argument("--sample", type=float, default=1.0,
+                           help="fraction of the stream the canary shadows")
+    p_upgrade.add_argument("--promote-after", type=int, default=128,
+                           help="clean sampled packets before promotion")
+    p_upgrade.set_defaults(fn=_cmd_upgrade)
+
+    p_chaos = sub.add_parser(
+        "chaos", help="fault-injection harness with recovery invariants")
+    p_chaos.add_argument("--packets", type=int, default=600)
+    p_chaos.add_argument("--seed", type=int, default=0xC4405)
+    p_chaos.add_argument("--shards", type=int, default=2)
+    p_chaos.add_argument("--mutation-rounds", type=int, default=4,
+                         help="corrupted containers per mutation kind")
+    p_chaos.add_argument("--scenario", action="append", metavar="NAME",
+                         help="run only this scenario (repeatable)")
+    p_chaos.add_argument("--quick", action="store_true",
+                         help="CI profile: small trace, fewer mutants")
+    p_chaos.add_argument("--verbose", action="store_true",
+                         help="print passing invariants too")
+    p_chaos.add_argument("--json", metavar="PATH",
+                         help="write the chaos report as JSON")
+    p_chaos.set_defaults(fn=_cmd_chaos)
 
     p_analyze = sub.add_parser(
         "analyze", help="static analysis: CFG, intervals, WCET, lint")

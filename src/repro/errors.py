@@ -103,6 +103,28 @@ class ValidationError(PccError):
     malformed container, or proof/predicate mismatch)."""
 
 
+class UnknownExtensionError(PccError, KeyError):
+    """A control-plane call named an extension that is not attached.
+
+    Subclasses :class:`KeyError` so callers that treated the runtime's
+    extension table as a plain mapping keep working, but the message
+    names the missing extension and lists what *is* attached — a bare
+    ``KeyError('x')`` from a fleet control plane is useless at 3am.
+    """
+
+    def __init__(self, name: str, attached: list[str] | tuple[str, ...]
+                 ) -> None:
+        listing = ", ".join(sorted(attached)) if attached else "none"
+        super().__init__(f"no extension named {name!r} is attached "
+                         f"(attached: {listing})")
+        self.name = name
+        self.attached = tuple(sorted(attached))
+
+    def __str__(self) -> str:
+        # KeyError.__str__ repr()s its single arg; restore the message.
+        return self.args[0]
+
+
 class BpfError(PccError):
     """Base class for BPF baseline errors."""
 

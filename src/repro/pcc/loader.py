@@ -47,6 +47,7 @@ from __future__ import annotations
 import hashlib
 import multiprocessing
 import threading
+import time
 from collections import OrderedDict
 from dataclasses import dataclass
 
@@ -109,6 +110,12 @@ class LoaderStats:
     in the pre-screen result cache); ``prescreen_rejects`` counts loads
     turned away by a pre-screen verdict, cached or fresh.  Both stay 0
     on loaders constructed without ``prescreen=True``.
+
+    ``pool_timeouts`` counts batch jobs whose pool result did not arrive
+    within the per-item timeout (a wedged or killed worker);
+    ``pool_retries`` counts jobs re-submitted to a fresh pool after a
+    timeout; ``pool_fallbacks`` counts jobs that ultimately degraded to
+    in-process validation.  All three stay 0 on a healthy pool.
     """
 
     loads: int
@@ -119,6 +126,9 @@ class LoaderStats:
     capacity: int
     prescreen_checks: int = 0
     prescreen_rejects: int = 0
+    pool_timeouts: int = 0
+    pool_retries: int = 0
+    pool_fallbacks: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -201,6 +211,9 @@ class ExtensionLoader:
         self._evictions = 0
         self._prescreen_checks = 0
         self._prescreen_rejects = 0
+        self._pool_timeouts = 0
+        self._pool_retries = 0
+        self._pool_fallbacks = 0
 
     # -- keying ----------------------------------------------------------
 
@@ -288,8 +301,9 @@ class ExtensionLoader:
 
     # -- batch loads -----------------------------------------------------
 
-    def validate_batch(self, items, processes: int | None = None
-                       ) -> list[BatchItem]:
+    def validate_batch(self, items, processes: int | None = None, *,
+                       timeout: float | None = 30.0, retries: int = 1,
+                       retry_backoff: float = 0.05) -> list[BatchItem]:
         """Validate many independent submissions, fanning cache misses
         out over a ``multiprocessing`` pool.
 
@@ -298,6 +312,17 @@ class ExtensionLoader:
         item and never disturbs its neighbours.  ``processes=0`` (or a
         platform without the ``fork`` start method) validates serially
         in-process; results are identical either way.
+
+        The pool is treated as unreliable machinery, never as a point of
+        failure: each item is collected with a per-item ``timeout``
+        (seconds; ``None`` waits forever), items whose pool worker is
+        wedged or killed are retried up to ``retries`` times on a *fresh*
+        pool (exponential ``retry_backoff``), and anything still
+        unresolved degrades to in-process validation.  A hostile or
+        hung pool can therefore slow a batch down, but it can never hang
+        ``validate_batch`` or change a verdict.  The ``pool_timeouts`` /
+        ``pool_retries`` / ``pool_fallbacks`` counters in :meth:`stats`
+        record every such degradation.
         """
         blobs = [self._blob(item) for item in items]
         results: list[BatchItem | None] = [None] * len(blobs)
@@ -345,9 +370,8 @@ class ExtensionLoader:
         if len(jobs) < 2 or processes < 2 or context is None:
             outcomes = [_serial_validate(self.policy, job) for job in jobs]
         else:
-            with context.Pool(processes, initializer=_pool_init,
-                              initargs=(self.policy,)) as pool:
-                outcomes = pool.map(_pool_validate, jobs)
+            outcomes = self._pool_outcomes(context, jobs, processes,
+                                           timeout, retries, retry_backoff)
 
         for job_id, report, error in outcomes:
             key = pending[job_id][0]
@@ -359,6 +383,55 @@ class ExtensionLoader:
                 else:
                     results[index] = BatchItem(index, None, error)
         return results
+
+    def _pool_outcomes(self, context, jobs, processes,
+                       timeout, retries, retry_backoff):
+        """Collect pool verdicts with per-item timeouts; survivors of a
+        wedged/killed pool retry on a fresh one, then degrade serial.
+
+        ``pool.map`` would block forever on a worker that was SIGKILLed
+        mid-job, taking :meth:`validate_batch` (and every admission
+        behind it) down with it.  ``apply_async`` + ``get(timeout)``
+        bounds the damage to one timeout per unresolved item.
+        """
+        remaining = list(jobs)
+        outcomes = []
+        attempt = 0
+        while remaining and attempt <= retries:
+            if attempt:
+                with self._lock:
+                    self._pool_retries += 1
+                time.sleep(retry_backoff * (2 ** (attempt - 1)))
+            pool = context.Pool(min(processes, len(remaining)),
+                                initializer=_pool_init,
+                                initargs=(self.policy,))
+            try:
+                handles = [(job, pool.apply_async(_pool_validate, (job,)))
+                           for job in remaining]
+                unresolved = []
+                for job, handle in handles:
+                    try:
+                        outcomes.append(handle.get(timeout))
+                    except multiprocessing.TimeoutError:
+                        with self._lock:
+                            self._pool_timeouts += 1
+                        unresolved.append(job)
+                    except Exception:
+                        # _pool_validate returns ValidationError as data;
+                        # an exception here is pool plumbing (worker
+                        # killed, pipe torn) — retry the item.
+                        unresolved.append(job)
+                remaining = unresolved
+            finally:
+                pool.terminate()
+                pool.join()
+            attempt += 1
+        if remaining:
+            with self._lock:
+                self._pool_fallbacks += len(remaining)
+            outcomes.extend(_serial_validate(self.policy, job)
+                            for job in remaining)
+        return outcomes
 
     # -- management ------------------------------------------------------
 
@@ -394,7 +467,9 @@ class ExtensionLoader:
             return LoaderStats(self._loads, self._hits, self._misses,
                                self._evictions, len(self._cache),
                                self.capacity, self._prescreen_checks,
-                               self._prescreen_rejects)
+                               self._prescreen_rejects,
+                               self._pool_timeouts, self._pool_retries,
+                               self._pool_fallbacks)
 
     # -- negotiation -----------------------------------------------------
 

@@ -1,0 +1,172 @@
+"""Seeded container mutation: the admission layer's chaos vocabulary.
+
+The paper's integrity story is deliberately checksum-free: "any
+tampering ... is detected at the consumer site by the proof-checking
+process itself" (§2.3).  These helpers generate the tampering — seeded,
+reproducible corruptions of a well-formed :class:`PccBinary` at every
+structural level:
+
+* bit-flips inside a chosen section (relocation, proof, invariants) —
+  the canonical man-in-the-middle edit;
+* a code **stomp** — one aligned instruction word overwritten with a
+  store the policy forbids (unsafe by construction; a random code
+  bit-flip may legitimately survive validation, see
+  :func:`corrupt_code`);
+* truncation at an arbitrary byte — a torn download;
+* header garbling — magic/version/length-field damage.
+
+A mutation returns the corrupted byte string, or ``None`` when the
+container has no material to corrupt that way (e.g. a proof bit-flip on
+a proof-less binary); :func:`mutants` yields only the applicable ones.
+Every generator takes a ``random.Random`` (or a seed) so a failing
+mutant can be replayed exactly.
+
+The chaos suite's claim is the paper's: the loader must reject every
+mutant, because validation re-derives safety from the bytes actually
+received rather than trusting any integrity metadata.
+"""
+
+from __future__ import annotations
+
+import random
+import struct
+from typing import Iterator
+
+from repro.alpha.encoding import encode_instruction
+from repro.alpha.isa import Reg, Stq
+from repro.pcc.container import _HEADER, PccBinary
+
+__all__ = [
+    "MUTATION_KINDS",
+    "bitflip_section",
+    "corrupt_code",
+    "garble_header",
+    "mutants",
+    "truncate_container",
+]
+
+#: Every mutation kind :func:`mutants` can emit.
+MUTATION_KINDS = (
+    "code-stomp",
+    "relocation-bitflip",
+    "proof-bitflip",
+    "invariants-bitflip",
+    "truncate",
+    "header-garble",
+)
+
+_SECTIONS = ("code", "relocation", "proof", "invariants")
+
+
+def _rng(seed_or_rng) -> random.Random:
+    if isinstance(seed_or_rng, random.Random):
+        return seed_or_rng
+    return random.Random(seed_or_rng)
+
+
+def bitflip_section(data: bytes, section: str, seed_or_rng=0) -> bytes | None:
+    """Flip one random bit inside ``section`` and re-serialize.
+
+    Lengths are untouched, so the container still parses — the damage
+    must be caught semantically (undecodable code, an LF proof that no
+    longer checks, an invariant table that no longer decodes), exactly
+    the detection path the paper relies on.  Returns ``None`` when the
+    section is empty.
+    """
+    if section not in _SECTIONS:
+        raise ValueError(f"unknown section {section!r}; "
+                         f"expected one of {_SECTIONS}")
+    rng = _rng(seed_or_rng)
+    binary = PccBinary.from_bytes(data)
+    payload = getattr(binary, section)
+    if not payload:
+        return None
+    index = rng.randrange(len(payload))
+    bit = 1 << rng.randrange(8)
+    flipped = bytearray(payload)
+    flipped[index] ^= bit
+    fields = {name: getattr(binary, name) for name in _SECTIONS}
+    fields[section] = bytes(flipped)
+    return PccBinary(**fields).to_bytes()
+
+
+#: ``STQ r2, 0(r1)`` — a store of the frame length through the frame
+#: base.  Packet-filter code is read-only, so no shipped proof can
+#: discharge the write-safety obligation this word introduces.
+_UNSAFE_STORE_WORD = encode_instruction(Stq(Reg(2), 0, Reg(1)))
+
+
+def corrupt_code(data: bytes, seed_or_rng=0) -> bytes | None:
+    """Overwrite one aligned code word with an unproven store.
+
+    A random *bit-flip* in code is not guaranteed to be unsafe — it may
+    land in a decoder-ignored field or produce different code that the
+    shipped proof still happens to cover, and PCC is *right* to accept
+    those (safety is semantic, not integrity).  A chaos invariant needs
+    tampering that is unsafe by construction, so this stomps a word with
+    a store the policy forbids: the VC grows an obligation the old proof
+    cannot discharge, and validation must reject.
+    """
+    rng = _rng(seed_or_rng)
+    binary = PccBinary.from_bytes(data)
+    if len(binary.code) < 4:
+        return None
+    stomp = struct.pack("<I", _UNSAFE_STORE_WORD)
+    words = len(binary.code) // 4
+    index = rng.randrange(words)
+    if binary.code[index * 4:index * 4 + 4] == stomp:
+        index = (index + 1) % words
+    code = binary.code[:index * 4] + stomp + binary.code[index * 4 + 4:]
+    return PccBinary(code, binary.relocation, binary.proof,
+                     binary.invariants).to_bytes()
+
+
+def truncate_container(data: bytes, seed_or_rng=0) -> bytes | None:
+    """Cut the container short at a random byte (possibly mid-header)."""
+    if len(data) < 2:
+        return None
+    rng = _rng(seed_or_rng)
+    return data[:rng.randrange(1, len(data))]
+
+
+def garble_header(data: bytes, seed_or_rng=0) -> bytes | None:
+    """Corrupt one random header byte (magic, version, flags, or a
+    section length); the parser must reject before slicing."""
+    if len(data) < _HEADER.size:
+        return None
+    rng = _rng(seed_or_rng)
+    index = rng.randrange(_HEADER.size)
+    garbled = bytearray(data)
+    # Guarantee a change even when the random byte matches.
+    garbled[index] ^= rng.randrange(1, 256)
+    return bytes(garbled)
+
+
+def mutants(data: bytes, seed: int = 0,
+            rounds: int = 4) -> Iterator[tuple[str, bytes]]:
+    """Yield ``(kind, corrupted_bytes)`` for every applicable mutation,
+    ``rounds`` independent draws per kind, all derived from ``seed``.
+
+    Kinds that do not apply to this container (empty section, container
+    too small) are silently skipped, so callers can assert rejection on
+    everything yielded.
+    """
+    makers = {
+        "code-stomp": lambda r: corrupt_code(data, r),
+        "relocation-bitflip":
+            lambda r: bitflip_section(data, "relocation", r),
+        "proof-bitflip": lambda r: bitflip_section(data, "proof", r),
+        "invariants-bitflip":
+            lambda r: bitflip_section(data, "invariants", r),
+        "truncate": lambda r: truncate_container(data, r),
+        "header-garble": lambda r: garble_header(data, r),
+    }
+    for kind in MUTATION_KINDS:
+        for round_index in range(rounds):
+            rng = random.Random(f"{seed}:{kind}:{round_index}")
+            mutated = makers[kind](rng)
+            if mutated is None:
+                continue
+            if mutated == data:
+                continue   # paranoid: never yield an identical "mutant"
+            yield kind, mutated

@@ -2,12 +2,25 @@
 
 The paper's bargain is one-time validation, then native speed forever —
 but "forever" happens inside a kernel that is serving traffic from many
-extensions at once.  This package is that kernel's dispatch plane:
+extensions at once, replacing them under load, and surviving its own
+machinery failing.  This package is that kernel's dispatch plane and
+its supervised control plane:
 
 * :mod:`repro.runtime.runtime` — :class:`PacketRuntime`: admission only
   through the PR 2 extension loader (proven code runs unchecked;
   unproven code is rejected or, opt-in, downgraded to the checked
-  Figure 3 tier), sharded dispatch, quarantine, reinstatement;
+  Figure 3 tier), sharded dispatch, quarantine, reinstatement, and the
+  versioned hot-swap entry points (``upgrade``/``promote``/``rollback``);
+* :mod:`repro.runtime.versions` — shadow canaries: a new version runs on
+  a sampled shadow of the live stream, auto-promotes after N clean
+  packets, auto-rolls-back on any divergence/fault/overrun — rollback
+  restores bit-identical verdicts by construction;
+* :mod:`repro.runtime.supervisor` — :class:`ShardSupervisor`: bounded
+  per-shard ingress queues, crash-restarted workers (bounded restarts,
+  exponential backoff), counted load shedding, measured MTTR;
+* :mod:`repro.runtime.chaos` — the fault-injection harness behind
+  ``pcc chaos``: seeded faults at every layer, recovery invariants
+  asserted (healthy verdict streams bit-identical under all faults);
 * :mod:`repro.runtime.shard` — one modeled core: private reusable
   memory, private cycle clock, the per-packet hot loop;
 * :mod:`repro.runtime.extension` — per-extension state machine
@@ -15,30 +28,51 @@ extensions at once.  This package is that kernel's dispatch plane:
 * :mod:`repro.runtime.telemetry` — latency reservoirs, percentiles and
   the JSON stats snapshot behind ``pcc serve --json``;
 * :mod:`repro.runtime.config` — :class:`RuntimeConfig` knobs (shards,
-  cycle budgets, fault thresholds, contract enforcement).
+  cycle budgets, fault thresholds, contract enforcement, canary and
+  supervisor policy).
 """
 
 from repro.runtime.config import RuntimeConfig
 from repro.runtime.extension import ExtensionState, RuntimeExtension
 from repro.runtime.runtime import DispatchReport, PacketRuntime
 from repro.runtime.shard import Shard, fault_reason
+from repro.runtime.supervisor import (
+    IngressQueue,
+    InjectedCrash,
+    ShardSupervisor,
+    SupervisorReport,
+)
 from repro.runtime.telemetry import (
     ExtensionSnapshot,
     LatencyReservoir,
     RuntimeSnapshot,
     percentile,
 )
+from repro.runtime.versions import (
+    CanaryConfig,
+    ShadowCanary,
+    UpgradeRecord,
+    VersionState,
+)
 
 __all__ = [
+    "CanaryConfig",
     "DispatchReport",
     "ExtensionSnapshot",
     "ExtensionState",
+    "IngressQueue",
+    "InjectedCrash",
     "LatencyReservoir",
     "PacketRuntime",
     "RuntimeConfig",
     "RuntimeExtension",
     "RuntimeSnapshot",
     "Shard",
+    "ShadowCanary",
+    "ShardSupervisor",
+    "SupervisorReport",
+    "UpgradeRecord",
+    "VersionState",
     "fault_reason",
     "percentile",
 ]

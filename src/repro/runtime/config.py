@@ -16,6 +16,7 @@ from typing import Callable
 from repro.filters.packets import MAX_FRAME, MIN_FRAME
 from repro.filters.policy import filter_registers, reusable_packet_memory
 from repro.perf.cost import ALPHA_175, AlphaCostModel
+from repro.runtime.versions import CanaryConfig
 
 
 @dataclass(frozen=True)
@@ -44,6 +45,24 @@ class RuntimeConfig:
     ``enforce_contract``  drop frames outside [min_frame_bytes,
                           max_frame_bytes] at the boundary — the kernel's
                           half of the precondition bargain (r2 >= 64)
+    ``canary``            default :class:`~repro.runtime.versions
+                          .CanaryConfig` for :meth:`PacketRuntime
+                          .upgrade` (overridable per upgrade)
+
+    Supervisor knobs (the :class:`~repro.runtime.supervisor
+    .ShardSupervisor` behind :meth:`PacketRuntime.serve_supervised`):
+
+    ``ingress_capacity``  bounded per-shard ingress queue depth
+    ``shed_timeout``      how long the feeder waits for queue space
+                          before shedding a frame (0 = shed immediately
+                          on saturation); sheds are always counted
+    ``max_restarts``      crash-restarts per shard worker before the
+                          shard is declared failed (its remaining
+                          ingress is shed, counted, never silent)
+    ``restart_backoff``   base of the exponential restart backoff
+                          (seconds; doubles per restart, capped at
+                          ``restart_backoff_cap``)
+    ``health_interval``   supervisor health-check poll period (seconds)
     """
 
     shards: int = 1
@@ -61,10 +80,27 @@ class RuntimeConfig:
     reservoir_capacity: int = 512
     memory_factory: Callable = reusable_packet_memory
     registers_fn: Callable[[int], dict] = filter_registers
+    canary: CanaryConfig = field(default_factory=CanaryConfig)
+    ingress_capacity: int = 4096
+    shed_timeout: float = 0.25
+    max_restarts: int = 3
+    restart_backoff: float = 0.01
+    restart_backoff_cap: float = 0.5
+    health_interval: float = 0.002
 
     def __post_init__(self) -> None:
         if self.shards < 1:
             raise ValueError("need at least one shard")
+        if self.ingress_capacity < 1:
+            raise ValueError("ingress capacity must be positive")
+        if self.shed_timeout < 0:
+            raise ValueError("shed timeout must be non-negative")
+        if self.max_restarts < 0:
+            raise ValueError("max restarts must be non-negative")
+        if self.restart_backoff < 0 or self.restart_backoff_cap < 0:
+            raise ValueError("restart backoff must be non-negative")
+        if self.health_interval <= 0:
+            raise ValueError("health interval must be positive")
         budget = self.cycle_budget
         if isinstance(budget, str):
             if budget != "auto":

@@ -91,6 +91,12 @@ class RuntimeExtension:
         self.wcet_bound: int | None = None
         self.state = ExtensionState.ACTIVE
         self.active = True
+        #: Monotone version counter; bumped only by canary promotion.
+        self.version = 1
+        #: The in-flight :class:`repro.runtime.versions.ShadowCanary`,
+        #: or None.  Written only by the runtime's control plane (under
+        #: its lock); the dispatch hot loop reads it once per invocation.
+        self.canary = None
         self.quarantines = 0
         self.consecutive_faults = 0
         self.last_fault: str | None = None
@@ -132,6 +138,34 @@ class RuntimeExtension:
             self.consecutive_faults = 0
             self.last_fault = None
 
+    # -- hot swap ---------------------------------------------------------
+
+    def adopt(self, candidate: "RuntimeExtension") -> None:
+        """Swap ``candidate``'s admitted identity into this live slot
+        (canary promotion).
+
+        Everything that defines *which* program serves — bytes, digest,
+        program, engines, tier, budget — is republished atomically under
+        the state lock.  Cumulative traffic counters are deliberately
+        kept: telemetry tracks the extension *name* across versions.
+        The dispatch loop reads ``engine``/``cycle_budget`` once per
+        invocation, so a packet in flight finishes on whichever version
+        it started with and the next invocation sees the new one.
+        """
+        with self._lock:
+            self.blob = candidate.blob
+            self.digest = candidate.digest
+            self.program = candidate.program
+            self.report = candidate.report
+            self.checked = candidate.checked
+            self.engine = candidate.engine
+            self.shard_engines = candidate.shard_engines
+            self.cycle_budget = candidate.cycle_budget
+            self.wcet_bound = candidate.wcet_bound
+            self.version = candidate.version
+            self.consecutive_faults = 0
+            self.last_fault = None
+
     # -- aggregation -----------------------------------------------------
 
     def snapshot(self) -> ExtensionSnapshot:
@@ -160,4 +194,7 @@ class RuntimeExtension:
             last_fault=self.last_fault,
             cycle_budget=self.cycle_budget,
             wcet_cycles=self.wcet_bound,
+            version=self.version,
+            canary=(self.canary.snapshot()
+                    if self.canary is not None else None),
         )

@@ -47,13 +47,14 @@ from dataclasses import dataclass
 from repro.alpha.encoding import decode_program
 from repro.alpha.engine import ExecutionEngine
 from repro.alpha.abstract import make_check_hooks
-from repro.errors import PccError, ValidationError
+from repro.errors import PccError, UnknownExtensionError, ValidationError
 from repro.pcc.container import PccBinary
 from repro.pcc.loader import ExtensionLoader
 from repro.runtime.config import RuntimeConfig
 from repro.runtime.extension import ExtensionState, RuntimeExtension
 from repro.runtime.shard import Shard
 from repro.runtime.telemetry import RuntimeSnapshot
+from repro.runtime.versions import CanaryConfig, ShadowCanary, UpgradeRecord
 from repro.vcgen.policy import SafetyPolicy
 
 
@@ -87,10 +88,18 @@ class DispatchReport:
 class PacketRuntime:
     """A simulated in-kernel dispatch plane over PCC-admitted extensions.
 
-    Thread-safety contract: :meth:`attach`, :meth:`detach` and
-    :meth:`reinstate` are control-plane calls — make them while no
-    :meth:`serve` is in flight.  :meth:`serve` itself runs one worker
-    thread per shard; all hot-path state is shard-private.
+    Concurrency contract: the control plane (:meth:`attach`,
+    :meth:`detach`, :meth:`reinstate`, :meth:`upgrade`, :meth:`promote`,
+    :meth:`rollback`) serializes every mutation of the extension table
+    behind ``self._lock`` — concurrent control-plane calls are safe.
+    Validation itself (the slow part) runs outside the lock, so a long
+    admission never blocks telemetry or other control calls.  The
+    dispatch paths (:meth:`dispatch`, :meth:`serve`,
+    :meth:`serve_supervised`) snapshot the extension *list* once at
+    entry: an extension attached mid-serve joins on the next call, and a
+    detached one finishes the in-flight call — the hot loop itself takes
+    no locks (quarantine flips and canary promotion publish single
+    attributes the loop reads once per invocation).
     """
 
     def __init__(self, policy: SafetyPolicy,
@@ -104,6 +113,8 @@ class PacketRuntime:
         self._extensions: dict[str, RuntimeExtension] = {}
         self._lock = threading.Lock()
         self.contract_drops = 0
+        self.upgrade_log: list[UpgradeRecord] = []
+        self.last_supervisor_report = None
 
     # -- admission (the only way in is through the loader) ---------------
 
@@ -117,8 +128,22 @@ class PacketRuntime:
         checked abstract-machine tier (a decodable code section is still
         required; garbage is rejected regardless).
         """
-        if name in self._extensions:
-            raise ValueError(f"extension {name!r} already attached")
+        with self._lock:
+            if name in self._extensions:
+                raise ValueError(f"extension {name!r} already attached")
+        extension = self._admit(name, data)
+        self._resolve_budget(extension)
+        with self._lock:
+            if name in self._extensions:  # lost a race to another attach
+                raise ValueError(f"extension {name!r} already attached")
+            self._extensions[name] = extension
+        return extension
+
+    def _admit(self, name: str, data: bytes | PccBinary
+               ) -> RuntimeExtension:
+        """Build a RuntimeExtension from ``data`` via the loader — the
+        shared admission step behind :meth:`attach` and :meth:`upgrade`
+        (nothing reaches dispatch without passing through here)."""
         blob = data.to_bytes() if isinstance(data, PccBinary) else bytes(data)
         digest = self.loader.cache_key(blob)[0]
         config = self.config
@@ -127,16 +152,13 @@ class PacketRuntime:
         except ValidationError:
             if not config.downgrade_unproven:
                 raise
-            extension = self._attach_checked(name, blob, digest)
-        else:
-            extension = RuntimeExtension(
-                name, blob, digest, report.program, report,
-                checked=False, shards=config.shards,
-                reservoir_capacity=config.reservoir_capacity)
-            extension.engine = ExecutionEngine(
-                report.program, config.cost_model, config.max_steps)
-        self._resolve_budget(extension)
-        self._extensions[name] = extension
+            return self._attach_checked(name, blob, digest)
+        extension = RuntimeExtension(
+            name, blob, digest, report.program, report,
+            checked=False, shards=config.shards,
+            reservoir_capacity=config.reservoir_capacity)
+        extension.engine = ExecutionEngine(
+            report.program, config.cost_model, config.max_steps)
         return extension
 
     def _resolve_budget(self, extension: RuntimeExtension) -> None:
@@ -189,14 +211,23 @@ class PacketRuntime:
         return extension
 
     def detach(self, name: str) -> None:
-        del self._extensions[name]
+        with self._lock:
+            extension = self._extensions.pop(name, None)
+            if extension is None:
+                raise UnknownExtensionError(name, list(self._extensions))
+            extension.canary = None  # any in-flight upgrade dies with it
 
     def extension(self, name: str) -> RuntimeExtension:
-        return self._extensions[name]
+        with self._lock:
+            extension = self._extensions.get(name)
+            if extension is None:
+                raise UnknownExtensionError(name, list(self._extensions))
+            return extension
 
     @property
     def extensions(self) -> list[RuntimeExtension]:
-        return list(self._extensions.values())
+        with self._lock:
+            return list(self._extensions.values())
 
     # -- quarantine control ----------------------------------------------
 
@@ -208,8 +239,14 @@ class PacketRuntime:
         whose bytes *now* validate is promoted to the unchecked fast
         path; an unproven extension that still fails validation returns
         to the checked tier (it was admissible there to begin with).
+
+        Reinstatement is re-admission, so the cycle budget is resolved
+        afresh exactly as :meth:`attach` would: a promoted extension's
+        WCET is recomputed for the program it will actually run (the old
+        checked-tier bound — or a hand-tweaked one — would be stale),
+        and a fixed config budget is re-applied.
         """
-        extension = self._extensions[name]
+        extension = self.extension(name)
         if extension.state is not ExtensionState.QUARANTINED:
             raise ValueError(f"extension {name!r} is not quarantined "
                              f"(state: {extension.state.value})")
@@ -227,8 +264,82 @@ class PacketRuntime:
                 extension.engine = ExecutionEngine(
                     report.program, self.config.cost_model,
                     self.config.max_steps)
+        self._resolve_budget(extension)
         extension.reinstate()
         return extension
+
+    # -- versioned hot swap ----------------------------------------------
+
+    def upgrade(self, name: str, data: bytes | PccBinary,
+                canary: CanaryConfig | None = None) -> ShadowCanary:
+        """Admit ``data`` as the next version of ``name`` and start it
+        as a shadow canary (see :mod:`repro.runtime.versions`).
+
+        The live version keeps serving — and stays authoritative — for
+        every packet; the candidate runs on a sampled shadow of the
+        stream until it either earns promotion (``promote_after`` clean
+        packets) or triggers rollback (any divergence, fault, or budget
+        overrun).  Raises :class:`ValidationError` if the new bytes do
+        not pass admission (under ``downgrade_unproven`` the candidate
+        shadows on the checked tier, like any other unproven code).
+        """
+        extension = self.extension(name)
+        if not extension.active:
+            raise ValueError(
+                f"extension {name!r} is {extension.state.value}; "
+                f"reinstate or detach it before upgrading")
+        blob = data.to_bytes() if isinstance(data, PccBinary) else bytes(data)
+        digest = self.loader.cache_key(blob)[0]
+        if digest == extension.digest:
+            raise ValueError(
+                f"upgrade for {name!r} is byte-identical to the serving "
+                f"version (digest {digest[:12]})")
+        candidate = self._admit(name, blob)
+        candidate.version = extension.version + 1
+        self._resolve_budget(candidate)
+        shadow = ShadowCanary(name, extension, candidate,
+                              canary or self.config.canary,
+                              shards=len(self.shards),
+                              decide=self._decide_canary)
+        with self._lock:
+            if self._extensions.get(name) is not extension:
+                raise UnknownExtensionError(name, list(self._extensions))
+            if extension.canary is not None:
+                raise ValueError(
+                    f"an upgrade for {name!r} is already in flight "
+                    f"(to v{extension.canary.candidate.version})")
+            extension.canary = shadow
+        return shadow
+
+    def promote(self, name: str) -> UpgradeRecord:
+        """Operator override: promote the in-flight canary now."""
+        shadow = self._require_canary(name)
+        shadow.force(True, reason="operator promote")
+        return shadow.record()
+
+    def rollback(self, name: str) -> UpgradeRecord:
+        """Operator override: discard the in-flight canary now."""
+        shadow = self._require_canary(name)
+        shadow.force(False, reason="operator rollback")
+        return shadow.record()
+
+    def _require_canary(self, name: str) -> ShadowCanary:
+        shadow = self.extension(name).canary
+        if shadow is None:
+            raise ValueError(f"no upgrade in flight for {name!r}")
+        return shadow
+
+    def _decide_canary(self, shadow: ShadowCanary, promoted: bool) -> None:
+        """Finish an upgrade (called once per canary, possibly from a
+        shard worker thread): clear the shadow slot, adopt the candidate
+        on promotion, and append the audit record."""
+        with self._lock:
+            live = self._extensions.get(shadow.name)
+            if live is shadow.live:
+                live.canary = None
+                if promoted:
+                    live.adopt(shadow.candidate)
+            self.upgrade_log.append(shadow.record())
 
     # -- dispatch ---------------------------------------------------------
 
@@ -298,6 +409,30 @@ class PacketRuntime:
                                in zip(shards, before)),
             clock_mhz=self.config.cost_model.clock_mhz)
 
+    def serve_supervised(self, frames, fault_hook=None):
+        """Dispatch under the shard supervisor: bounded per-shard
+        ingress queues, crash-restarted workers, load shedding.
+
+        Same semantics as :meth:`serve` when nothing goes wrong (same
+        round-robin assignment, same per-shard packet order — verdicts
+        and counters are bit-identical); under worker crashes the
+        supervisor restarts the shard with exponential backoff and no
+        packet is lost or reordered, and under sustained saturation
+        frames are shed *with* accounting (never silently).  Returns a
+        :class:`~repro.runtime.supervisor.SupervisorReport`; the most
+        recent report also rides along in :meth:`snapshot`.
+
+        ``fault_hook(shard_index, sequence)`` — chaos-injection point,
+        called before each dispatch; an exception it raises kills that
+        worker thread mid-stream (the packet is requeued, not lost).
+        """
+        from repro.runtime.supervisor import ShardSupervisor
+
+        supervisor = ShardSupervisor(self, fault_hook=fault_hook)
+        report = supervisor.run(frames)
+        self.last_supervisor_report = report
+        return report
+
     def _apply_contract(self, frames: list) -> tuple[list, int]:
         config = self.config
         if not config.enforce_contract:
@@ -322,6 +457,13 @@ class PacketRuntime:
             shard_cycles=tuple(shard.cycles for shard in self.shards),
             clock_mhz=self.config.cost_model.clock_mhz,
             extra=extra or {},
+            canary_cycles=tuple(shard.canary_cycles
+                                for shard in self.shards),
+            upgrades=tuple(record.to_dict()
+                           for record in self.upgrade_log),
+            supervisor=(self.last_supervisor_report.to_dict()
+                        if self.last_supervisor_report is not None
+                        else None),
         )
 
     def stats_json(self, indent: int | None = 2) -> str:

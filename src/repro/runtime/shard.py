@@ -47,6 +47,10 @@ class Shard:
         self.registers_fn = config.registers_fn
         self.cycles = 0
         self.packets = 0
+        # Shadow-canary work is clocked separately: candidate cycles
+        # must never move the live clock, or rollback would not restore
+        # bit-identical modeled throughput.
+        self.canary_cycles = 0
         # Checked-path predicates, rebound per packet by _bind_checkers;
         # the per-shard checked engines' decode-time hooks delegate here.
         self._can_read = None
@@ -120,6 +124,9 @@ class Shard:
                         counters.cycles += error.cycles
                         self.cycles += error.cycles
                     extension.record_fault(fault_reason(error), threshold)
+                    canary = extension.canary
+                    if canary is not None:
+                        canary.consider(self, frame, None, policy)
                     if collect:
                         verdicts[extension.name] = None
                     continue
@@ -130,6 +137,11 @@ class Shard:
                 counters.accepted += verdict
                 if extension.consecutive_faults:
                     extension.record_success()
+                canary = extension.canary
+                if canary is not None:
+                    # Shadow dispatch: rebinds the memory for its own
+                    # invocation, so the live stream is untouched.
+                    canary.consider(self, frame, verdict, policy)
                 if collect:
                     verdicts[extension.name] = verdict
             if collect:

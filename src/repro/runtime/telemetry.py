@@ -87,6 +87,10 @@ class ExtensionSnapshot:
     #: static WCET bound it came from when ``cycle_budget="auto"``.
     cycle_budget: int | None = None
     wcet_cycles: int | None = None
+    #: Hot-swap state: the serving version number and, while an upgrade
+    #: is in flight, the shadow canary's ledger (None otherwise).
+    version: int = 1
+    canary: dict | None = None
 
     def to_dict(self) -> dict:
         return {
@@ -105,6 +109,8 @@ class ExtensionSnapshot:
             "last_fault": self.last_fault,
             "cycle_budget": self.cycle_budget,
             "wcet_cycles": self.wcet_cycles,
+            "version": self.version,
+            "canary": self.canary,
         }
 
 
@@ -129,6 +135,15 @@ class RuntimeSnapshot:
     shard_cycles: tuple[int, ...]
     clock_mhz: float
     extra: dict = field(default_factory=dict)
+    #: Shadow-canary work, kept off the live shard clocks so modeled
+    #: throughput and rollback verdict streams stay bit-identical to a
+    #: canary-free run (shadow cycles are reported, never charged).
+    canary_cycles: tuple[int, ...] = ()
+    #: Decided upgrades, oldest first (UpgradeRecord.to_dict() payloads).
+    upgrades: tuple = ()
+    #: The last supervised-serve report (SupervisorReport.to_dict()),
+    #: or None if this runtime never served under the supervisor.
+    supervisor: dict | None = None
 
     @property
     def modeled_seconds(self) -> float:
@@ -159,6 +174,9 @@ class RuntimeSnapshot:
             "modeled_seconds": self.modeled_seconds,
             "modeled_packets_per_second": self.modeled_packets_per_second,
             "extensions": [ext.to_dict() for ext in self.extensions],
+            "canary_cycles": list(self.canary_cycles),
+            "upgrades": list(self.upgrades),
+            "supervisor": self.supervisor,
             **self.extra,
         }
 

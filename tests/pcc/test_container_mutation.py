@@ -1,0 +1,120 @@
+"""Seeded container-mutation helpers and the admission invariant.
+
+``repro.pcc.mutate`` is the chaos harness's tampering arm: every mutant
+it produces must be rejected by the loader.  These tests pin down the
+generator's own contract (deterministic, actually-different bytes,
+section-targeted) and then sweep the full mutant population for every
+certified filter across several seeds — the property the chaos
+``admission-mutants`` scenario relies on.
+"""
+
+import random
+
+import pytest
+
+from repro.errors import PccError
+from repro.pcc.container import _HEADER, PccBinary
+from repro.pcc.loader import ExtensionLoader
+from repro.pcc.mutate import (
+    MUTATION_KINDS,
+    bitflip_section,
+    corrupt_code,
+    garble_header,
+    mutants,
+    truncate_container,
+)
+
+
+@pytest.fixture(scope="module")
+def filter1_blob(certified_filters):
+    return certified_filters["filter1"].binary.to_bytes()
+
+
+class TestGenerators:
+    def test_mutants_cover_every_kind(self, filter1_blob):
+        kinds = {kind for kind, _ in mutants(filter1_blob, seed=3)}
+        assert kinds == set(MUTATION_KINDS)
+
+    def test_mutants_are_deterministic(self, filter1_blob):
+        first = list(mutants(filter1_blob, seed=11, rounds=3))
+        second = list(mutants(filter1_blob, seed=11, rounds=3))
+        assert first == second
+
+    def test_different_seeds_differ(self, filter1_blob):
+        first = dict(mutants(filter1_blob, seed=1, rounds=1))
+        second = dict(mutants(filter1_blob, seed=2, rounds=1))
+        assert first != second
+
+    def test_every_mutant_differs_from_original(self, filter1_blob):
+        for kind, blob in mutants(filter1_blob, seed=5, rounds=4):
+            assert blob != filter1_blob, f"{kind} returned the original"
+
+    def test_bitflip_targets_the_named_section(self, filter1_blob):
+        original = PccBinary.from_bytes(filter1_blob)
+        mutated_blob = bitflip_section(filter1_blob, "proof", 7)
+        mutated = PccBinary.from_bytes(mutated_blob)
+        assert mutated.proof != original.proof
+        assert mutated.code == original.code
+        assert mutated.relocation == original.relocation
+        assert mutated.invariants == original.invariants
+
+    def test_bitflip_empty_section_is_none(self, filter1_blob):
+        binary = PccBinary.from_bytes(filter1_blob)
+        empty = PccBinary(code=binary.code, relocation=b"",
+                          proof=binary.proof,
+                          invariants=binary.invariants).to_bytes()
+        assert bitflip_section(empty, "relocation", 0) is None
+
+    def test_bitflip_unknown_section_raises(self, filter1_blob):
+        with pytest.raises(ValueError, match="unknown section"):
+            bitflip_section(filter1_blob, "padding", 0)
+
+    def test_bitflip_accepts_an_rng(self, filter1_blob):
+        seeded = bitflip_section(filter1_blob, "code", 42)
+        from_rng = bitflip_section(filter1_blob, "code", random.Random(42))
+        assert seeded == from_rng
+
+    def test_corrupt_code_changes_exactly_one_word(self, filter1_blob):
+        original = PccBinary.from_bytes(filter1_blob)
+        mutated = PccBinary.from_bytes(corrupt_code(filter1_blob, 0))
+        diffs = [index for index in range(0, len(original.code), 4)
+                 if original.code[index:index + 4]
+                 != mutated.code[index:index + 4]]
+        assert len(diffs) == 1
+
+    def test_truncate_shortens(self, filter1_blob):
+        mutated = truncate_container(filter1_blob, 9)
+        assert len(mutated) < len(filter1_blob)
+        assert filter1_blob.startswith(mutated)
+
+    def test_garble_header_touches_only_the_header(self, filter1_blob):
+        mutated = garble_header(filter1_blob, 13)
+        assert mutated != filter1_blob
+        assert mutated[_HEADER.size:] == filter1_blob[_HEADER.size:]
+
+
+class TestAdmissionInvariant:
+    @pytest.mark.parametrize("seed", [0, 1, 0xBAD])
+    def test_loader_rejects_every_mutant(self, filter_policy,
+                                         certified_filters, seed):
+        """The property the chaos campaign stakes its name on: no
+        mutant of any certified filter gets past admission."""
+        loader = ExtensionLoader(filter_policy)
+        for name, certified in certified_filters.items():
+            blob = certified.binary.to_bytes()
+            loader.load(blob)  # pristine admits fine
+            for kind, mutant in mutants(blob, seed=seed, rounds=3):
+                with pytest.raises(PccError) as excinfo:
+                    loader.load(mutant)
+                assert excinfo.value is not None, f"{name}/{kind}"
+
+    def test_rejections_never_poison_the_cache(self, filter_policy,
+                                               filter1_blob):
+        loader = ExtensionLoader(filter_policy)
+        loader.load(filter1_blob)
+        for _, mutant in mutants(filter1_blob, seed=7, rounds=2):
+            with pytest.raises(PccError):
+                loader.load(mutant)
+        hits_before = loader.stats().hits
+        loader.load(filter1_blob)  # pristine blob still cached
+        assert loader.stats().hits == hits_before + 1

@@ -1,0 +1,120 @@
+"""The validation pool must degrade, never hang.
+
+A multiprocessing pool worker can wedge (stuck syscall, livelock) or
+die outright (OOM kill, segfault in a C extension).  ``validate_batch``
+wraps every pool result in a per-item timeout, retries the stragglers
+on a fresh pool, and finally falls back to in-process validation — so
+the worst case is slow-but-correct, and every degradation is counted
+in ``LoaderStats`` rather than suffered silently.
+
+The faults are injected by monkeypatching ``_pool_validate`` in the
+parent: fork-spawned children resolve the pickled-by-name function
+against the patched module, so the children misbehave while the
+in-process fallback path (which calls ``_serial_validate`` directly)
+stays honest.
+"""
+
+import os
+import time
+
+import pytest
+
+import repro.pcc.loader as loader_module
+from repro.pcc.loader import ExtensionLoader
+
+
+def _wedged(job):
+    """A pool worker stuck in a syscall: sleeps far past any timeout."""
+    time.sleep(3600)
+
+
+def _doomed(job):
+    """A pool worker dying abruptly: simulates an OOM kill / segfault."""
+    os._exit(1)
+
+
+@pytest.fixture()
+def blobs(certified_filters):
+    return [certified.binary.to_bytes()
+            for certified in certified_filters.values()]
+
+
+def _assert_all_valid(items, blobs):
+    assert [item.index for item in items] == list(range(len(blobs)))
+    for item in items:
+        assert item.ok, item.error
+
+
+class TestHealthyPool:
+    def test_no_degradation_counters_move(self, filter_policy, blobs):
+        loader = ExtensionLoader(filter_policy)
+        items = loader.validate_batch(blobs, processes=2)
+        _assert_all_valid(items, blobs)
+        stats = loader.stats()
+        assert stats.pool_timeouts == 0
+        assert stats.pool_retries == 0
+        assert stats.pool_fallbacks == 0
+
+
+class TestWedgedWorkers:
+    def test_wedge_degrades_to_serial_without_hanging(
+            self, filter_policy, blobs, monkeypatch):
+        monkeypatch.setattr(loader_module, "_pool_validate", _wedged)
+        loader = ExtensionLoader(filter_policy)
+        started = time.perf_counter()
+        items = loader.validate_batch(blobs, processes=2,
+                                      timeout=0.5, retries=1,
+                                      retry_backoff=0.01)
+        elapsed = time.perf_counter() - started
+        # bounded: worst case ~= timeout * items * (retries + 1), never
+        # the worker's hour-long sleep
+        assert elapsed < 60
+        _assert_all_valid(items, blobs)
+        stats = loader.stats()
+        assert stats.pool_timeouts >= len(blobs)
+        assert stats.pool_retries == 1
+        assert stats.pool_fallbacks == len(blobs)
+
+    def test_zero_retries_goes_straight_to_fallback(
+            self, filter_policy, blobs, monkeypatch):
+        monkeypatch.setattr(loader_module, "_pool_validate", _wedged)
+        loader = ExtensionLoader(filter_policy)
+        items = loader.validate_batch(blobs, processes=2,
+                                      timeout=0.5, retries=0)
+        _assert_all_valid(items, blobs)
+        stats = loader.stats()
+        assert stats.pool_retries == 0
+        assert stats.pool_fallbacks == len(blobs)
+
+
+class TestKilledWorkers:
+    def test_killed_workers_degrade_to_serial(self, filter_policy, blobs,
+                                              monkeypatch):
+        monkeypatch.setattr(loader_module, "_pool_validate", _doomed)
+        loader = ExtensionLoader(filter_policy)
+        items = loader.validate_batch(blobs, processes=2,
+                                      timeout=1.0, retries=1,
+                                      retry_backoff=0.01)
+        _assert_all_valid(items, blobs)
+        stats = loader.stats()
+        assert stats.pool_fallbacks == len(blobs)
+        assert stats.pool_retries == 1
+
+    def test_results_match_a_healthy_run(self, filter_policy, blobs,
+                                         monkeypatch):
+        mixed = blobs + [b"junk"]
+        healthy = ExtensionLoader(filter_policy).validate_batch(
+            mixed, processes=2)
+
+        monkeypatch.setattr(loader_module, "_pool_validate", _doomed)
+        degraded = ExtensionLoader(filter_policy).validate_batch(
+            mixed, processes=2, timeout=1.0, retries=0)
+        assert [(item.index, item.ok, item.error) for item in healthy] \
+            == [(item.index, item.ok, item.error) for item in degraded]
+
+
+class TestStatsPlumbing:
+    def test_counters_start_at_zero(self, filter_policy):
+        stats = ExtensionLoader(filter_policy).stats()
+        assert (stats.pool_timeouts, stats.pool_retries,
+                stats.pool_fallbacks) == (0, 0, 0)

@@ -7,7 +7,7 @@ the checked abstract-machine tier.  Garbage is rejected regardless.
 
 import pytest
 
-from repro.errors import ValidationError
+from repro.errors import UnknownExtensionError, ValidationError
 from repro.runtime import ExtensionState, PacketRuntime, RuntimeConfig
 
 
@@ -75,3 +75,36 @@ def test_admission_shares_the_content_addressed_cache(
     assert stats.hits == 1
     assert stats.misses == 1
     assert runtime.extension("a").digest == runtime.extension("b").digest
+
+
+class TestFriendlyUnknownExtensionErrors:
+    def test_detach_unknown_names_the_missing_and_the_present(
+            self, filter_policy, filter_blobs):
+        runtime = PacketRuntime(filter_policy)
+        runtime.attach("filter1", filter_blobs["filter1"])
+        runtime.attach("filter2", filter_blobs["filter2"])
+        with pytest.raises(UnknownExtensionError) as excinfo:
+            runtime.detach("fitler1")  # the classic typo
+        message = str(excinfo.value)
+        assert "fitler1" in message
+        assert "filter1" in message and "filter2" in message
+        assert excinfo.value.name == "fitler1"
+        assert excinfo.value.attached == ("filter1", "filter2")
+
+    def test_lookup_unknown_is_a_keyerror_with_a_real_message(
+            self, filter_policy):
+        runtime = PacketRuntime(filter_policy)
+        with pytest.raises(KeyError):  # mapping-style callers keep working
+            runtime.extension("ghost")
+        with pytest.raises(UnknownExtensionError,
+                           match="attached: none"):
+            runtime.extension("ghost")
+
+    def test_control_plane_calls_share_the_error(self, filter_policy,
+                                                 filter_blobs):
+        runtime = PacketRuntime(filter_policy)
+        runtime.attach("filter1", filter_blobs["filter1"])
+        for call in (runtime.detach, runtime.reinstate, runtime.promote,
+                     runtime.rollback):
+            with pytest.raises(UnknownExtensionError):
+                call("ghost")

@@ -1,0 +1,81 @@
+"""The chaos harness itself: every scenario's invariants must hold.
+
+These tests run the campaign small (quick-mode sized) but real — the
+same scenario code the ``pcc chaos`` CLI and CI smoke job execute.
+"""
+
+import json
+
+import pytest
+
+from repro.runtime.chaos import SCENARIOS, ChaosConfig, run_chaos
+
+
+@pytest.fixture(scope="module")
+def quick_report():
+    return run_chaos(ChaosConfig(packets=150, seed=0xC4405, shards=2,
+                                 mutation_rounds=2))
+
+
+class TestConfig:
+    def test_defaults_are_valid(self):
+        config = ChaosConfig()
+        assert config.packets >= 50
+        assert config.scenarios is None
+
+    def test_packet_floor(self):
+        with pytest.raises(ValueError, match="packets"):
+            ChaosConfig(packets=10)
+
+    def test_shard_floor(self):
+        with pytest.raises(ValueError, match="shard"):
+            ChaosConfig(shards=0)
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ValueError, match="unknown scenario"):
+            ChaosConfig(scenarios=("no-such-drill",))
+
+
+class TestCampaign:
+    def test_all_invariants_hold(self, quick_report):
+        broken = [check
+                  for scenario in quick_report.scenarios
+                  for check in scenario.failures()]
+        assert quick_report.passed, f"broken invariants: {broken}"
+
+    def test_every_scenario_ran(self, quick_report):
+        assert {s.name for s in quick_report.scenarios} == set(SCENARIOS)
+
+    def test_mttr_was_measured(self, quick_report):
+        assert quick_report.mttr_seconds, \
+            "recovery scenarios must record MTTR"
+        assert all(mttr > 0 for mttr in quick_report.mttr_seconds)
+
+    def test_report_is_json_serializable(self, quick_report):
+        payload = json.loads(json.dumps(quick_report.to_dict()))
+        assert payload["passed"] is True
+        assert payload["seed"] == 0xC4405
+        assert len(payload["scenarios"]) == len(SCENARIOS)
+        for scenario in payload["scenarios"]:
+            assert scenario["checks"], "every scenario must assert things"
+
+    def test_scenario_subset_runs_only_requested(self):
+        report = run_chaos(ChaosConfig(
+            packets=100, mutation_rounds=1,
+            scenarios=("shard-crash", "upgrade-rollback")))
+        assert [s.name for s in report.scenarios] == \
+            ["shard-crash", "upgrade-rollback"]
+        assert report.passed
+
+    def test_campaign_is_deterministic(self):
+        config = ChaosConfig(packets=100, seed=99, mutation_rounds=1,
+                             scenarios=("admission-mutants",
+                                        "adversarial-packets"))
+        first = run_chaos(config).to_dict()
+        second = run_chaos(config).to_dict()
+        for scenario in (*first["scenarios"], *second["scenarios"]):
+            scenario.pop("wall_seconds")
+            scenario.get("details", {}).pop("mttr_seconds", None)
+        first.pop("wall_seconds")
+        second.pop("wall_seconds")
+        assert first == second

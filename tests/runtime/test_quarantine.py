@@ -170,3 +170,30 @@ def test_proven_bytes_failing_revalidation_refuse_reinstatement(
         runtime.reinstate("filter1")
     assert extension.state is ExtensionState.QUARANTINED
     assert not extension.active
+
+
+def test_reinstatement_reresolves_the_cycle_budget(filter_policy,
+                                                   filter_blobs,
+                                                   small_trace):
+    """Regression: ``reinstate()`` must re-run budget resolution rather
+    than keep whatever stale budget drove the extension into quarantine
+    (an operator fat-fingering a live budget, or a promotion changing
+    the WCET).  The reinstated extension gets a fresh ``auto`` budget
+    and serves cleanly."""
+    runtime = PacketRuntime(filter_policy, RuntimeConfig(
+        cycle_budget="auto", fault_threshold=1))
+    runtime.attach("filter1", filter_blobs["filter1"])
+    extension = runtime.extension("filter1")
+    healthy_budget = extension.cycle_budget
+    assert healthy_budget > 1
+
+    extension.cycle_budget = 1  # the operator breaks the live budget
+    runtime.dispatch(small_trace[:5])
+    assert extension.state is ExtensionState.QUARANTINED
+
+    runtime.reinstate("filter1")
+    assert extension.cycle_budget == healthy_budget
+    faults_before = extension.snapshot().faults
+    runtime.dispatch(small_trace[5:50])
+    assert extension.snapshot().faults == faults_before
+    assert extension.state is ExtensionState.REINSTATED

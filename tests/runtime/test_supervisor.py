@@ -1,0 +1,222 @@
+"""The shard supervisor: bounded ingress, crash-restart, load shedding.
+
+The contract: a healthy supervised run is semantically identical to
+:meth:`PacketRuntime.serve`; a crashed worker is restarted without
+losing or reordering a single packet; a shard beyond saving is failed
+loudly, with every shed frame counted.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.runtime import (
+    IngressQueue,
+    InjectedCrash,
+    PacketRuntime,
+    RuntimeConfig,
+)
+from repro.runtime.supervisor import CLOSE
+
+
+def _runtime(filter_policy, **overrides):
+    defaults = dict(shards=2, cycle_budget="auto",
+                    restart_backoff=0.001, restart_backoff_cap=0.01,
+                    health_interval=0.001)
+    defaults.update(overrides)
+    return PacketRuntime(filter_policy, RuntimeConfig(**defaults))
+
+
+class TestIngressQueue:
+    def test_fifo_and_close_drain(self):
+        queue = IngressQueue(capacity=8)
+        assert queue.put("a", timeout=0.0)
+        assert queue.put("b", timeout=0.0)
+        queue.close()
+        assert queue.get() == "a"
+        assert queue.get() == "b"
+        assert queue.get() is CLOSE
+
+    def test_put_sheds_fast_when_full(self):
+        queue = IngressQueue(capacity=1)
+        assert queue.put("a", timeout=0.0)
+        started = time.perf_counter()
+        assert not queue.put("b", timeout=0.05)
+        assert time.perf_counter() - started < 1.0
+
+    def test_put_waits_for_space(self):
+        queue = IngressQueue(capacity=1)
+        queue.put("a", timeout=0.0)
+
+        def drain():
+            time.sleep(0.02)
+            queue.get()
+
+        thread = threading.Thread(target=drain)
+        thread.start()
+        assert queue.put("b", timeout=1.0)  # blocked, then admitted
+        thread.join()
+
+    def test_push_front_preserves_order_and_ignores_capacity(self):
+        queue = IngressQueue(capacity=1)
+        queue.put("second", timeout=0.0)
+        queue.push_front("first")  # the crashed worker's in-hand packet
+        assert len(queue) == 2  # over capacity, deliberately
+        assert queue.get() == "first"
+        assert queue.get() == "second"
+
+    def test_reject_drops_pending_and_fails_future_puts(self):
+        queue = IngressQueue(capacity=4)
+        queue.put("a", timeout=0.0)
+        queue.put("b", timeout=0.0)
+        assert queue.reject() == ["a", "b"]
+        assert len(queue) == 0
+        assert not queue.put("c", timeout=0.0)
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            IngressQueue(capacity=0)
+
+
+class TestSupervisedServe:
+    def test_healthy_run_matches_plain_serve(self, filter_policy,
+                                             filter_blobs, small_trace):
+        plain = _runtime(filter_policy)
+        for name, blob in filter_blobs.items():
+            plain.attach(name, blob)
+        plain_report = plain.serve(small_trace)
+
+        supervised = _runtime(filter_policy)
+        for name, blob in filter_blobs.items():
+            supervised.attach(name, blob)
+        report = supervised.serve_supervised(small_trace)
+
+        assert report.healthy
+        assert report.dispatched == report.packets == plain_report.packets
+        assert report.shed == 0 and report.crashes == 0
+        # supervision is host-side machinery: zero modeled cycles, and
+        # per-shard clocks identical because assignment order matches
+        assert report.shard_cycles == plain_report.shard_cycles
+        plain_accepts = {ext.name: ext.accepted
+                         for ext in plain.snapshot().extensions}
+        sup_accepts = {ext.name: ext.accepted
+                       for ext in supervised.snapshot().extensions}
+        assert sup_accepts == plain_accepts
+
+    def test_crash_recovers_without_losing_packets(self, filter_policy,
+                                                   filter_blobs,
+                                                   small_trace):
+        runtime = _runtime(filter_policy)
+        runtime.attach("filter1", filter_blobs["filter1"])
+        crashed = []
+
+        def hook(shard_index, sequence):
+            if sequence in (7, 120, 121) and sequence not in crashed:
+                crashed.append(sequence)
+                raise InjectedCrash(f"boom at {sequence}")
+
+        report = runtime.serve_supervised(small_trace, fault_hook=hook)
+        assert report.crashes == 3
+        assert report.restarts == 3
+        assert report.dispatched == report.packets
+        assert report.shed == 0
+        assert not report.failed_shards
+        assert len(report.mttr_seconds) == 3
+        assert all(mttr > 0 for mttr in report.mttr_seconds)
+        # the crashed-on packets were requeued and dispatched: totals
+        # match an undisturbed run exactly
+        ext = runtime.snapshot().extensions[0]
+        assert ext.packets_in == report.packets
+
+    def test_crash_recovery_is_bit_identical(self, filter_policy,
+                                             filter_blobs, small_trace):
+        """Per-shard verdict order survives a mid-stream crash (the
+        in-hand packet goes back to the *front* of the queue)."""
+        plain = _runtime(filter_policy)
+        for name, blob in filter_blobs.items():
+            plain.attach(name, blob)
+        plain.serve(small_trace)
+        expected = {ext.name: (ext.accepted, ext.packets_in)
+                    for ext in plain.snapshot().extensions}
+
+        # ~16 crashes over the trace: budget restarts for the storm
+        runtime = _runtime(filter_policy, max_restarts=32)
+        for name, blob in filter_blobs.items():
+            runtime.attach(name, blob)
+        fired = set()
+
+        def hook(shard_index, sequence):
+            if sequence % 97 == 3 and sequence not in fired:
+                fired.add(sequence)
+                raise InjectedCrash("crash storm")
+
+        report = runtime.serve_supervised(small_trace, fault_hook=hook)
+        assert report.crashes == len(fired) > 1
+        assert report.dispatched == report.packets
+        got = {ext.name: (ext.accepted, ext.packets_in)
+               for ext in runtime.snapshot().extensions}
+        assert got == expected
+
+    def test_hopeless_shard_fails_loudly(self, filter_policy,
+                                         filter_blobs, small_trace):
+        runtime = _runtime(filter_policy, max_restarts=2)
+        runtime.attach("filter1", filter_blobs["filter1"])
+
+        def hook(shard_index, sequence):
+            if shard_index == 1:
+                raise InjectedCrash("shard 1 always dies")
+
+        report = runtime.serve_supervised(small_trace, fault_hook=hook)
+        assert report.failed_shards == (1,)
+        assert report.restarts == 2  # the budget, exactly
+        assert report.shed > 0  # the failed shard's residue, counted
+        assert report.dispatched + report.shed == report.packets
+        assert not report.healthy
+        # shard 0 was untouched
+        worker0 = next(worker for worker in report.workers
+                       if worker["shard"] == 0)
+        assert worker0["state"] == "done"
+        assert worker0["dispatched"] > 0
+
+    def test_saturation_sheds_with_accounting(self, filter_policy,
+                                              filter_blobs, small_trace):
+        """A wedged worker with a tiny queue forces the feeder to shed;
+        every shed is counted, never silent."""
+        runtime = _runtime(filter_policy, max_restarts=0,
+                           ingress_capacity=4, shed_timeout=0.0)
+        runtime.attach("filter1", filter_blobs["filter1"])
+
+        def hook(shard_index, sequence):
+            if shard_index == 0:
+                raise InjectedCrash("shard 0 dies instantly")
+
+        report = runtime.serve_supervised(small_trace[:200],
+                                          fault_hook=hook)
+        assert report.failed_shards == (0,)
+        assert report.shed > 0
+        assert report.dispatched + report.shed == report.packets
+
+    def test_report_rides_in_snapshot(self, filter_policy, filter_blobs,
+                                      small_trace):
+        runtime = _runtime(filter_policy)
+        runtime.attach("filter1", filter_blobs["filter1"])
+        assert runtime.snapshot().supervisor is None
+        runtime.serve_supervised(small_trace[:100])
+        snapshot = runtime.snapshot()
+        assert snapshot.supervisor is not None
+        assert snapshot.supervisor["healthy"]
+        assert snapshot.supervisor["dispatched"] == 100
+        snapshot.to_json()  # stays JSON-serializable
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError, match="ingress"):
+            RuntimeConfig(ingress_capacity=0)
+        with pytest.raises(ValueError, match="restarts"):
+            RuntimeConfig(max_restarts=-1)
+        with pytest.raises(ValueError, match="backoff"):
+            RuntimeConfig(restart_backoff=-0.1)
+        with pytest.raises(ValueError, match="health"):
+            RuntimeConfig(health_interval=0.0)
+        with pytest.raises(ValueError, match="shed"):
+            RuntimeConfig(shed_timeout=-1.0)

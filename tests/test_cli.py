@@ -189,3 +189,84 @@ class TestCli:
                      str(tmp_path / "bad.pcc"),
                      "--policy", "packet-filter"]) == 1
         assert "error" in capsys.readouterr().err
+
+
+BENIGN_VARIANT = """
+    LDQ    r4, 8(r1)
+    EXTWL  r4, 4, r4
+    CMPEQ  r4, 8, r0
+    ADDQ   r3, 0, r3
+    RET
+"""
+
+DIVERGENT_VARIANT = """
+    LDQ    r4, 8(r1)
+    EXTWL  r4, 4, r4
+    CMPEQ  r4, 8, r0
+    CMPEQ  r0, 0, r0
+    RET
+"""
+
+
+@pytest.fixture(scope="module")
+def candidate_files(tmp_path_factory):
+    directory = tmp_path_factory.mktemp("cli-upgrade")
+    paths = {}
+    for name, variant in (("benign", BENIGN_VARIANT),
+                          ("divergent", DIVERGENT_VARIANT)):
+        source = directory / f"{name}.s"
+        source.write_text(variant)
+        output = directory / f"{name}.pcc"
+        assert main(["certify", str(source), "-o", str(output),
+                     "--policy", "packet-filter"]) == 0
+        paths[name] = output
+    return paths
+
+
+class TestUpgradeCommand:
+    def test_benign_candidate_promotes(self, certified_file,
+                                       candidate_files, capsys):
+        assert main(["upgrade", str(certified_file),
+                     str(candidate_files["benign"]),
+                     "--packets", "500", "--promote-after", "64"]) == 0
+        out = capsys.readouterr().out
+        assert "PROMOTED" in out
+        assert "clean" in out
+
+    def test_divergent_candidate_rolls_back(self, certified_file,
+                                            candidate_files, capsys):
+        assert main(["upgrade", str(certified_file),
+                     str(candidate_files["divergent"]),
+                     "--packets", "500"]) == 1
+        out = capsys.readouterr().out
+        assert "ROLLED-BACK" in out
+        assert "divergence" in out
+
+    def test_byte_identical_candidate_fails_cleanly(self, certified_file):
+        with pytest.raises(SystemExit):
+            main(["upgrade", str(certified_file), str(certified_file)])
+
+
+class TestChaosCommand:
+    def test_quick_campaign_passes(self, capsys):
+        assert main(["chaos", "--quick", "--seed", "7"]) == 0
+        out = capsys.readouterr().out
+        assert "ALL INVARIANTS HELD" in out
+        assert "PASS" in out and "FAIL" not in out
+
+    def test_scenario_subset_and_json(self, tmp_path, capsys):
+        report_path = tmp_path / "chaos.json"
+        assert main(["chaos", "--quick",
+                     "--scenario", "upgrade-rollback",
+                     "--scenario", "shard-crash",
+                     "--json", str(report_path)]) == 0
+        payload = json.loads(report_path.read_text())
+        assert payload["passed"] is True
+        assert [s["name"] for s in payload["scenarios"]] == \
+            ["upgrade-rollback", "shard-crash"]
+        out = capsys.readouterr().out
+        assert "upgrade-rollback" in out and "shard-crash" in out
+
+    def test_unknown_scenario_fails_cleanly(self):
+        with pytest.raises(SystemExit):
+            main(["chaos", "--scenario", "no-such-drill"])
