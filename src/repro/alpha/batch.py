@@ -1,0 +1,824 @@
+"""Whole-trace batch compilation for the packet-filter hot path.
+
+:class:`~repro.alpha.engine.ExecutionEngine` already removes the
+per-instruction interpretation cost (closure tables, exec-compiled
+basic-block superinstructions), but the dispatch runtime still pays a
+fixed per-*invocation* Python toll: rebind the packet region, build the
+register dict, enter ``run()``, thread every block transition through
+the run loop, allocate a :class:`MachineResult`.  At ~6 µs per
+invocation that toll dwarfs the filters themselves.
+
+This module compiles an entire *program* — not just its blocks — into a
+single exec-generated **batch driver**: one Python function that loops
+over a list of frames and evaluates the whole filter inline per frame.
+It is a partial evaluator specialized to the packet-filter invocation
+contract (:class:`FramePlan`):
+
+* the program's DAG of basic blocks is inlined into a decision *tree*
+  (diamonds are duplicated, loops are rejected), so each root-to-leaf
+  path is straight-line code guarded by the original branch conditions;
+* registers are evaluated symbolically: r1/r3 are the plan's constant
+  bases, r2 is the frame length, everything else starts at 0, and all
+  arithmetic over compile-time constants is folded using the *reference
+  machine's own* operator semantics (:func:`repro.alpha.machine
+  ._operate`), so constant addresses, shifts and comparisons disappear
+  into literals;
+* every symbolic value carries an interval ``[min, max]`` and a
+  known-trailing-zero-bits count.  The ranges prove most ``& 2**64-1``
+  wrap masks redundant (the operands cannot overflow), fold branches
+  and compares whose outcome is range-determined, let comparisons emit
+  native Python ``bool`` results (``bool`` is an ``int`` subclass with
+  the exact 0/1 values the reference computes, so downstream arithmetic
+  is unchanged), and elide load-guard terms (alignment, lower bound)
+  that the address range already guarantees;
+* materialized subexpressions are remembered per path, so a value the
+  filter recomputes (common after tree duplication) is evaluated once —
+  loads included: a reload of the same address is pure given the frame;
+* loads at constant in-packet offsets become ``unpack_from(frame, off)``
+  guarded by one length compare; loads that fall inside the (store-free,
+  hence always-zero) scratch region fold to the constant 0; everything
+  else — padded-tail words, unaligned or unmapped addresses — funnels
+  through one out-of-line helper that raises the *exact* reference
+  :class:`MachineError` messages;
+* a path's dynamic step and cycle counts are decode-time constants, so
+  per-packet cycle telemetry is a per-leaf counter increment and the
+  returned latency data is an exact histogram, not a sample;
+* cycle-budget checks compile to constant comparisons at block entry —
+  and are elided entirely when the budget is at least the DAG's maximum
+  path cost, because then no check can ever fire (the caller picks the
+  budgeted or plain driver per batch).
+
+The compiled driver is **bit-identical** to running the engine frame by
+frame over a freshly rebound :func:`~repro.filters.policy
+.reusable_packet_memory`: same verdicts, same cycle counts, same error
+types, messages and fault ordering.  ``tests/runtime/
+test_backend_differential.py`` asserts this on random programs and
+random (including degenerate) frames.
+
+Applicability: :func:`compile_batch` returns ``None`` — and callers fall
+back to :meth:`ExecutionEngine.run_batch` — for programs with stores
+(the scratch-is-zero folding would be wrong), loops (the tree would be
+infinite), step counts that could reach the engine's step limit, or
+inlined trees past a size cap.  One documented divergence remains:
+frames longer than the packet-to-scratch gap would make ``rebind``
+itself fault on region overlap before the engine ever ran, which the
+driver (which touches no :class:`Memory`) cannot reproduce; the runtime
+dispatches batches only under its frame contract (max 1518 bytes), far
+below the 64 KiB gap.
+"""
+
+from __future__ import annotations
+
+import re
+from struct import Struct
+from typing import NamedTuple
+
+from repro.alpha.isa import (
+    Br,
+    Branch,
+    Lda,
+    Ldah,
+    Ldq,
+    Lit,
+    Operate,
+    Program,
+    Ret,
+    Stq,
+)
+from repro.alpha.machine import WORD_MASK, _branch_taken, _operate, _sext16
+from repro.errors import BudgetExceeded, MachineError
+
+__all__ = ["BatchRunner", "FramePlan", "compile_batch"]
+
+_M = str(WORD_MASK)
+_S63 = 1 << 63
+
+#: Tree-inlining caps: a diamond-heavy DAG duplicates blocks per path,
+#: so bound both the emitted instruction count and the nesting depth
+#: (Python's compiler limits indentation) before falling back.
+_MAX_NODES = 3000
+_MAX_DEPTH = 48
+
+#: Every operator result is assigned to a (memoized) temporary — the
+#: maximal-sharing form — and a post-pass re-inlines the temporaries
+#: with exactly one consumer, so values the filter uses once cost no
+#: store/load and values it reuses are computed once.
+
+_ZERO = ("k", 0)
+
+#: A top-level AND-with-literal, as this module's own emitters spell it.
+#: Every operand is a bare name or fully parenthesized, so any *nested*
+#: ``& literal`` is followed by its own ``)`` before the end — the
+#: fullmatch can only succeed when the AND is the principal operator.
+_AND_CONST = re.compile(r"\((.+) & (\d+|0x[0-9A-Fa-f]+)\)")
+
+_EXT_MASKS = {"EXTBL": "0xFF", "EXTWL": "0xFFFF", "EXTLL": "0xFFFFFFFF"}
+
+
+class FramePlan(NamedTuple):
+    """The invocation contract the driver is specialized against.
+
+    Mirrors :func:`repro.filters.policy.reusable_packet_memory` and
+    :func:`~repro.filters.policy.filter_registers`: a read-only packet
+    region at ``packet_base`` (zero-padded to 8 bytes), a zeroed
+    writable scratch region, and entry registers r1 = packet base,
+    r2 = frame length, r3 = scratch base.
+    """
+
+    packet_base: int
+    scratch_base: int
+    scratch_size: int
+
+
+class _Fallback(Exception):
+    """Internal: this program is not batch-compilable; use the engine."""
+
+
+class BatchRunner:
+    """A compiled batch driver plus its budget-elision threshold.
+
+    ``run`` executes frames ``[start:]`` and returns ``(next_index,
+    accepted, hist_pairs, error)``: the index one past the last frame
+    executed (== ``len(frames)`` when no fault), how many completed
+    frames returned a truthy verdict, ``(cycles, count)`` pairs for the
+    completed frames (counts may be 0), and the :class:`MachineError`
+    that stopped frame ``next_index`` (or ``None``).  Identical to
+    :meth:`~repro.alpha.engine.ExecutionEngine.run_batch` over a rebound
+    reusable packet memory, bit for bit.
+    """
+
+    __slots__ = ("_plain", "_budgeted", "max_path_cycles")
+
+    def __init__(self, plain, budgeted, max_path_cycles: int) -> None:
+        self._plain = plain
+        self._budgeted = budgeted
+        self.max_path_cycles = max_path_cycles
+
+    def run(self, frames: list, start: int = 0,
+            cycle_budget: int | None = None):
+        if cycle_budget is None or cycle_budget >= self.max_path_cycles:
+            # No prefix of any path can exceed the budget: the budgeted
+            # driver could never raise, so run without the compares.
+            return self._plain(frames, start)
+        return self._budgeted(frames, start, cycle_budget)
+
+
+def compile_batch(program: Program, cost_model, plan: FramePlan,
+                  max_steps: int = 1_000_000) -> BatchRunner | None:
+    """Compile ``program`` into a :class:`BatchRunner`, or ``None`` when
+    the program falls outside the fast path's preconditions (see the
+    module docstring) and the caller should use the generic engine."""
+    size = len(program)
+    for instruction in program:
+        if isinstance(instruction, Stq):
+            return None  # stores would invalidate the scratch==0 folding
+        if not isinstance(instruction, (Operate, Ldq, Lda, Ldah,
+                                        Branch, Br, Ret)):
+            return None  # pragma: no cover - Instruction is closed
+    costs = [cost_model.cycles(ins) if cost_model else 1 for ins in program]
+
+    # Block structure, exactly as the engine's superinstruction layer
+    # carves it: the driver must charge cycles and check budgets at the
+    # same boundaries or BudgetExceeded payloads would drift.
+    leaders = {0} if size else set()
+    for pc, instruction in enumerate(program):
+        if isinstance(instruction, Branch):
+            target = pc + 1 + instruction.offset
+            if 0 <= target < size:
+                leaders.add(target)
+            if pc + 1 < size:
+                leaders.add(pc + 1)
+        elif isinstance(instruction, Br):
+            target = pc + 1 + instruction.offset
+            if 0 <= target < size:
+                leaders.add(target)
+    block_len: dict[int, int] = {}
+    block_cost: dict[int, int] = {}
+    for leader in leaders:
+        pc = leader
+        while True:
+            instruction = program[pc]
+            if isinstance(instruction, (Branch, Br, Ret)):
+                pc += 1
+                break
+            pc += 1
+            if pc >= size or pc in leaders:
+                break
+        block_len[leader] = pc - leader
+        block_cost[leader] = sum(costs[leader:pc])
+
+    def successors(leader: int) -> list[int]:
+        last_pc = leader + block_len[leader] - 1
+        last = program[last_pc]
+        if isinstance(last, Ret):
+            return []
+        if isinstance(last, Br):
+            return [last_pc + 1 + last.offset]
+        if isinstance(last, Branch):
+            return [last_pc + 1 + last.offset, last_pc + 1]
+        return [leader + block_len[leader]]  # fell through into a leader
+
+    # Reject loops and step-limit-reachable programs; compute the DAG
+    # maxima the budget elision and the soundness argument rest on.
+    WHITE, GREY, BLACK = 0, 1, 2
+    color: dict[int, int] = {}
+    max_cycles: dict[int, int] = {}
+    max_steps_from: dict[int, int] = {}
+
+    def visit(leader: int) -> None:
+        color[leader] = GREY
+        best_c = best_s = 0
+        for succ in successors(leader):
+            if not 0 <= succ < size:
+                continue  # trap: zero further cost
+            state = color.get(succ, WHITE)
+            if state == GREY:
+                raise _Fallback("loop")
+            if state == WHITE:
+                visit(succ)
+            best_c = max(best_c, max_cycles[succ])
+            best_s = max(best_s, max_steps_from[succ])
+        color[leader] = BLACK
+        max_cycles[leader] = block_cost[leader] + best_c
+        max_steps_from[leader] = block_len[leader] + best_s
+
+    try:
+        if size:
+            visit(0)
+            if max_steps_from[0] >= max_steps:
+                # The reference could trip its step limit mid-run; the
+                # driver elides that check, so it may not serve here.
+                return None
+        max_path_cycles = max_cycles.get(0, 0)
+        plain = _emit_driver(program, plan, leaders, block_len, block_cost,
+                             budgeted=False)
+        budgeted = _emit_driver(program, plan, leaders, block_len,
+                                block_cost, budgeted=True)
+    except _Fallback:
+        return None
+    return BatchRunner(plain, budgeted, max_path_cycles)
+
+
+# ---------------------------------------------------------------------------
+# The partial evaluator.
+#
+# Register state during emission is a dict index -> value, where a value
+# is ("k", int) for a compile-time constant or ("e", text, min, max, kz)
+# for a Python expression over frame-dependent data annotated with an
+# interval bound and a known-trailing-zero-bit count.  Expression texts
+# are either bare names (flen, t<N>) or fully parenthesized, and
+# reference only single-assignment temporaries — so inlining one into
+# several consumers or into both arms of a branch can never change its
+# meaning, and equal texts denote equal values (which is what makes the
+# per-path materialization memo a sound CSE).
+
+def _info(val) -> tuple[int, int, int]:
+    """``(min, max, trailing-zero bits)`` for a symbolic value."""
+    if val[0] == "k":
+        v = val[1]
+        return v, v, ((v & -v).bit_length() - 1 if v else 64)
+    return val[2], val[3], val[4]
+
+
+def _tz(value: int) -> int:
+    return (value & -value).bit_length() - 1 if value else 64
+
+
+def _add_const(val, c: int):
+    """``(val + c) & 2**64-1`` as a symbolic value (``val`` is an "e")."""
+    if c == 0:
+        return val
+    mn, mx, kz = _info(val)
+    kz = min(kz, _tz(abs(c)))
+    x = val[1]
+    if c > 0 and mx + c <= WORD_MASK:
+        return ("e", f"({x} + {c})", mn + c, mx + c, kz)
+    if c < 0 and mn >= -c:
+        return ("e", f"({x} - {-c})", mn + c, mx + c, kz)
+    return ("e", f"(({x} + {c}) & {_M})", 0, WORD_MASK, kz)
+
+
+def _identity(name: str, a, b):
+    """Algebraic folds over symbolic operands, or None for the generic
+    expression.  Sound because expression texts are pure and reference
+    only single-assignment temporaries (equal text => equal value), and
+    every register image is invariantly a canonical word (< 2**64), so
+    e.g. ``ADDQ x, 0`` needs no re-masking.  Compiler idioms lean on
+    these: assemblers spell "load 0" as ``SUBQ r, r, r`` and materialize
+    constants into registers cleared that way.
+    """
+    if a[1] == b[1] and a[0] == b[0]:
+        if name in ("SUBQ", "XOR"):
+            return ("k", 0)
+        if name in ("CMPEQ", "CMPULE"):
+            return ("k", 1)
+        if name == "CMPULT":
+            return ("k", 0)
+        if name in ("AND", "BIS"):
+            return a
+    if b[0] == "k" and b[1] == 0:
+        if name in ("ADDQ", "SUBQ", "BIS", "XOR", "SLL", "SRL"):
+            return a
+        if name in ("AND", "MULQ"):
+            return ("k", 0)
+    if a[0] == "k" and a[1] == 0:
+        if name in ("ADDQ", "BIS", "XOR"):
+            return b
+        if name in ("AND", "MULQ", "SLL", "SRL"):
+            return ("k", 0)
+    return None
+
+
+def _symbolic(name: str, a, b):
+    """One operate instruction as a symbolic value: a parenthesized
+    expression over the operand texts plus the interval/alignment facts
+    the operator semantics guarantee.  Wrap masks are emitted only when
+    the operand ranges admit overflow; compares emit Python ``bool``
+    (an ``int`` subclass with the reference's exact 0/1 values)."""
+    amn, amx, akz = _info(a)
+    bmn, bmx, bkz = _info(b)
+    x, y = str(a[1]), str(b[1])
+    if name == "ADDQ":
+        if amx + bmx <= WORD_MASK:
+            return ("e", f"({x} + {y})", amn + bmn, amx + bmx,
+                    min(akz, bkz))
+        return ("e", f"(({x} + {y}) & {_M})", 0, WORD_MASK, min(akz, bkz))
+    if name == "SUBQ":
+        if amn >= bmx:
+            return ("e", f"({x} - {y})", amn - bmx, amx - bmn,
+                    min(akz, bkz))
+        return ("e", f"(({x} - {y}) & {_M})", 0, WORD_MASK, min(akz, bkz))
+    if name == "MULQ":
+        if amx * bmx <= WORD_MASK:
+            return ("e", f"({x} * {y})", amn * bmn, amx * bmx,
+                    min(akz + bkz, 64))
+        return ("e", f"(({x} * {y}) & {_M})", 0, WORD_MASK,
+                min(akz + bkz, 64))
+    if name == "AND":
+        if b[0] == "k":
+            return _and_const(a, b[1])
+        if a[0] == "k":
+            return _and_const(b, a[1])
+        return ("e", f"({x} & {y})", 0, min(amx, bmx), max(akz, bkz))
+    if name == "BIS":
+        mx = (1 << max(amx.bit_length(), bmx.bit_length())) - 1
+        return ("e", f"({x} | {y})", max(amn, bmn), mx, min(akz, bkz))
+    if name == "XOR":
+        mx = (1 << max(amx.bit_length(), bmx.bit_length())) - 1
+        return ("e", f"({x} ^ {y})", 0, mx, min(akz, bkz))
+    if name == "SLL":
+        if b[0] == "k":
+            k = b[1] & 63
+            if k == 0:
+                return a
+            # Tag the result with its provenance: a later SRL by the
+            # same k cancels the shift pair even if this value has been
+            # materialized into a bare temporary by then.
+            if amx << k <= WORD_MASK:
+                return ("e", f"({x} << {k})", amn << k, amx << k,
+                        min(akz + k, 64), ("sll", a, k, False))
+            return ("e", f"(({x} << {k}) & {_M})", 0, WORD_MASK,
+                    min(akz + k, 64), ("sll", a, k, True))
+        return ("e", f"(({x} << ({y} & 63)) & {_M})", 0, WORD_MASK, akz)
+    if name == "SRL":
+        if b[0] == "k":
+            k = b[1] & 63
+            if k == 0:
+                return a
+            lo, hi, kz = amn >> k, amx >> k, max(akz - k, 0)
+            # The truncate idiom SLL k; SRL k:
+            # ``((v << k) & M) >> k  ->  v & (M >> k)`` and — when the
+            # SLL was proven overflow-free — ``(v << k) >> k  ->  v``.
+            # ``v``'s text stays valid here: it names only
+            # single-assignment temporaries from dominating points.
+            meta = a[5] if len(a) > 5 else None
+            if meta is not None and meta[0] == "sll" and meta[2] == k:
+                inner, was_masked = meta[1], meta[3]
+                if not was_masked:
+                    return inner   # (v << k) >> k with no overflow: v
+                return _and_const(inner, WORD_MASK >> k)
+            return ("e", f"({x} >> {k})", lo, hi, kz)
+        return ("e", f"({x} >> ({y} & 63))", 0, amx, 0)
+    if name == "CMPEQ":
+        if amx < bmn or bmx < amn:
+            return ("k", 0)
+        if amx <= 1 and b[0] == "k":
+            # A boolean compared to a literal: the compare is a no-op
+            # (== 1) or a negation (== 0).
+            if b[1] == 1:
+                return a
+            return ("e", f"(not {x})", 0, 1, 0)
+        return ("e", f"({x} == {y})", 0, 1, 0)
+    if name == "CMPULT":
+        if amx < bmn:
+            return ("k", 1)
+        if amn >= bmx:
+            return ("k", 0)
+        return ("e", f"({x} < {y})", 0, 1, 0)
+    if name == "CMPULE":
+        if amx <= bmn:
+            return ("k", 1)
+        if amn > bmx:
+            return ("k", 0)
+        return ("e", f"({x} <= {y})", 0, 1, 0)
+    mask = _EXT_MASKS.get(name)
+    if mask is not None:
+        maskv = int(mask, 16)
+        if b[0] == "k":
+            shift = 8 * (b[1] & 7)
+            if shift == 0:
+                return _and_const(a, maskv, mask)
+            return ("e", f"(({x} >> {shift}) & {mask})", 0,
+                    min(amx >> shift, maskv), 0,
+                    ("and", f"({x} >> {shift})", maskv))
+        return ("e", f"(({x} >> (8 * ({y} & 7))) & {mask})", 0, maskv, 0)
+    raise _Fallback(f"unknown operate {name!r}")  # pragma: no cover
+
+
+def _and_const(a, c: int, text: str | None = None):
+    """``a & c`` for a symbolic ``a`` and literal ``c``: drop the AND
+    when the range proves it a no-op, merge it into an AND the operand
+    is known (by provenance tag or by its own text) to already be, else
+    emit it."""
+    amn, amx, akz = _info(a)
+    cover = (1 << amx.bit_length()) - 1
+    if c & cover == cover:
+        return a  # the mask keeps every bit the value can have set
+    x = str(a[1])
+    meta = a[5] if len(a) > 5 else None
+    if meta is not None and meta[0] == "and":
+        x = meta[1]
+        c &= meta[2]
+        text = None
+    else:
+        merged = _AND_CONST.fullmatch(x)
+        if merged is not None:
+            c &= int(merged.group(2), 0)
+            x = merged.group(1)
+            text = None
+    if c == 0:
+        return ("k", 0)
+    return ("e", f"({x} & {text if text is not None else c})",
+            0, min(amx, c), max(akz, _tz(c)), ("and", x, c))
+
+
+def _branch_decide(name: str, mn: int, mx: int):
+    """Fold a branch whose outcome the operand range determines:
+    True = taken, False = fallthrough, None = genuinely dynamic."""
+    if name == "BEQ":
+        return True if mx == 0 else (False if mn >= 1 else None)
+    if name == "BNE":
+        return False if mx == 0 else (True if mn >= 1 else None)
+    if name == "BGE":
+        return True if mx < _S63 else (False if mn >= _S63 else None)
+    if name == "BLT":
+        return False if mx < _S63 else (True if mn >= _S63 else None)
+    if name == "BGT":
+        if mx == 0 or mn >= _S63:
+            return False
+        return True if 1 <= mn and mx < _S63 else None
+    if name == "BLE":
+        if mx == 0 or mn >= _S63:
+            return True
+        return False if 1 <= mn and mx < _S63 else None
+    raise _Fallback(f"unknown branch {name!r}")  # pragma: no cover
+
+
+def _branch_cond(name: str, s: str, mx: int) -> str:
+    """The Python test for "branch taken".  Registers are ints, so
+    truthiness is exactly ``!= 0``."""
+    if name == "BNE":
+        return s
+    if name == "BEQ":
+        return f"not {s}"
+    if name == "BGE":
+        return f"{s} < {_S63}"
+    if name == "BLT":
+        return f"{s} >= {_S63}"
+    if name == "BGT":
+        return s if mx < _S63 else f"0 < {s} < {_S63}"
+    if name == "BLE":
+        return f"not {s}" if mx < _S63 else f"{s} >= {_S63} or {s} == 0"
+    raise _Fallback(f"unknown branch {name!r}")  # pragma: no cover
+
+
+_ASSIGN = re.compile(r"(t\d+) = (.*)$")
+_NAME = re.compile(r"\bt\d+\b")
+
+
+def _tidy(lines: list[str]) -> list[str]:
+    """Two cleanup passes over the emitted body.
+
+    1. Dead-code sweep (reverse): the shift-pair and mask-merge rewrites
+       can orphan a materialized temporary; dropping a *pure* assignment
+       (no load — loads can fault and must keep their program point)
+       whose name is never read is invisible, and the reverse scan
+       cascades.
+    2. Single-use inlining (forward): a pure temporary consumed exactly
+       once is substituted into its consumer.  Sound because the texts
+       are pure single-assignment expressions over dominating names, so
+       evaluation can sink from definition to sole use without changing
+       any observable — faults included: skipping a pure computation
+       when an intervening load raises is invisible.
+    """
+    kept: list[str] = []
+    used: set[str] = set()
+    for line in reversed(lines):
+        body = line.lstrip()
+        match = _ASSIGN.match(body)
+        if match is not None and match.group(1) not in used \
+                and "q(" not in match.group(2) \
+                and "edge(" not in match.group(2):
+            continue
+        kept.append(line)
+        used.update(_NAME.findall(match.group(2) if match else body))
+    kept.reverse()
+
+    counts: dict[str, int] = {}
+    for line in kept:
+        body = line.lstrip()
+        match = _ASSIGN.match(body)
+        for name in _NAME.findall(match.group(2) if match else body):
+            counts[name] = counts.get(name, 0) + 1
+    inlined: dict[str, str] = {}
+
+    def subst(text: str) -> str:
+        return _NAME.sub(lambda m: inlined.get(m.group(0), m.group(0)),
+                         text)
+
+    out: list[str] = []
+    for line in kept:
+        body = line.lstrip()
+        indent = line[:len(line) - len(body)]
+        match = _ASSIGN.match(body)
+        if match is None:
+            out.append(indent + subst(body))
+            continue
+        name, rhs = match.group(1), subst(match.group(2))
+        if counts.get(name, 0) == 1 and "q(" not in rhs \
+                and "edge(" not in rhs:
+            inlined[name] = rhs
+            continue
+        out.append(f"{indent}{name} = {rhs}")
+    return out
+
+
+def _emit_driver(program: Program, plan: FramePlan, leaders: set[int],
+                 block_len: dict[int, int], block_cost: dict[int, int],
+                 budgeted: bool):
+    size = len(program)
+    lines: list[str] = []
+    counters: dict[int, str] = {}   # leaf cycles -> counter variable
+    state = {"nodes": 0, "temps": 0}
+
+    def emit(indent: int, text: str) -> None:
+        lines.append("    " * indent + text)
+
+    def temp() -> str:
+        state["temps"] += 1
+        return f"t{state['temps']}"
+
+    def assign(rhs: str, indent: int, memo: dict) -> str:
+        """Bind ``rhs`` to a (memoized) temporary on this path."""
+        name = memo.get(rhs)
+        if name is None:
+            name = temp()
+            memo[rhs] = name
+            emit(indent, f"{name} = {rhs}")
+        return name
+
+    def fresh(val, indent: int, memo: dict):
+        """Materialize an expression into a temporary (keeping the
+        range facts and any provenance tag); the single-use post-pass
+        undoes this wherever sharing does not pay."""
+        if val[0] == "e" and not val[1].isidentifier():
+            return ("e", assign(val[1], indent, memo)) + tuple(val[2:])
+        return val
+
+    def emit_ldq(instruction: Ldq, regs: dict, memo: dict,
+                 indent: int) -> bool:
+        """Emit one load; True when the path terminates here (a raise
+        that does not depend on the frame)."""
+        base = regs.get(instruction.rs.index, _ZERO)
+        disp = _sext16(instruction.disp)
+        pb = plan.packet_base
+        sb, ss = plan.scratch_base, plan.scratch_size
+        if base[0] == "k":
+            address = (base[1] + disp) & WORD_MASK
+            if address & 7:
+                emit(indent, f'raise MachineError('
+                             f'"unaligned LDQ address {address:#x}")')
+                return True
+            if sb <= address and address + 8 <= sb + ss:
+                # Store-free program + scratch re-zeroed per invocation.
+                regs[instruction.rd.index] = _ZERO
+                return False
+            offset = address - pb
+            if offset < 0:
+                # Below the packet region and not scratch: unmapped for
+                # every frame, exactly as Memory._find would report.
+                emit(indent, f'raise MachineError('
+                             f'"unmapped address {address:#x} (size 8)")')
+                return True
+            name = assign(f"q(frame, {offset})[0] "
+                          f"if flen >= {offset + 8} "
+                          f"else edge({address}, frame, flen)",
+                          indent, memo)
+            regs[instruction.rd.index] = ("e", name, 0, WORD_MASK, 0)
+            return False
+        aval = _add_const(base, disp) if disp else base
+        mn, mx, kz = _info(aval)
+        if aval[1].isidentifier():
+            addr = aval[1]
+        else:
+            addr = assign(aval[1], indent, memo)
+        # In-packet fast path; the range facts discharge guard terms
+        # (mn >= base proves the lower bound, kz >= 3 the alignment).
+        checks = []
+        if mn < pb:
+            checks.append(f"{pb} <= {addr}")
+        checks.append(f"{addr} <= flen + {pb - 8}")
+        if kz < 3:
+            checks.append(f"not {addr} & 7")
+        name = assign(f"q(frame, {addr} - {pb})[0] "
+                      f"if {' and '.join(checks)} "
+                      f"else edge({addr}, frame, flen)", indent, memo)
+        regs[instruction.rd.index] = ("e", name, 0, WORD_MASK, 0)
+        return False
+
+    def emit_straightline(instruction, regs: dict, memo: dict,
+                          indent: int) -> bool:
+        state["nodes"] += 1
+        if state["nodes"] > _MAX_NODES:
+            raise _Fallback("tree too large")
+        if isinstance(instruction, Operate):
+            a = regs.get(instruction.ra.index, _ZERO)
+            if isinstance(instruction.rb, Lit):
+                b = ("k", instruction.rb.value)
+            else:
+                b = regs.get(instruction.rb.index, _ZERO)
+            if a[0] == "k" and b[0] == "k":
+                value = ("k", _operate(instruction.name, a[1], b[1]))
+            else:
+                value = _identity(instruction.name, a, b)
+                if value is None:
+                    value = fresh(_symbolic(instruction.name, a, b),
+                                  indent, memo)
+            regs[instruction.rc.index] = value
+            return False
+        if isinstance(instruction, Ldq):
+            return emit_ldq(instruction, regs, memo, indent)
+        # Lda / Ldah
+        disp = _sext16(instruction.disp)
+        if isinstance(instruction, Ldah):
+            disp <<= 16
+        base = regs.get(instruction.rs.index, _ZERO)
+        if base[0] == "k":
+            regs[instruction.rd.index] = ("k", (base[1] + disp) & WORD_MASK)
+        else:
+            regs[instruction.rd.index] = fresh(_add_const(base, disp),
+                                               indent, memo)
+        return False
+
+    def emit_leaf(regs: dict, cycles: int, indent: int) -> None:
+        verdict = regs.get(0, _ZERO)
+        if verdict[0] == "k":
+            if verdict[1]:
+                emit(indent, "accepted += 1")
+        else:
+            mn, mx, _ = _info(verdict)
+            if mn >= 1:
+                emit(indent, "accepted += 1")
+            elif mx <= 1:
+                emit(indent, f"accepted += {verdict[1]}")
+            else:
+                emit(indent, f"accepted += 1 if {verdict[1]} else 0")
+        counter = counters.setdefault(cycles, f"h{len(counters)}")
+        emit(indent, f"{counter} += 1")
+
+    def walk(pc: int, regs: dict, memo: dict, cum_cycles: int,
+             cum_steps: int, indent: int) -> None:
+        if indent > _MAX_DEPTH:
+            raise _Fallback("tree too deep")
+        while True:
+            if not 0 <= pc < size:
+                # The engine's trap slot: a zero-length block that
+                # raises after the (elided-as-unreachable) step check.
+                emit(indent,
+                     f'raise MachineError("pc {pc} outside program")')
+                return
+            # Block entry: charge the block, then (budgeted) compare the
+            # now-constant clock, reproducing run_budgeted's payloads.
+            cum_cycles += block_cost[pc]
+            if budgeted:
+                emit(indent, f"if {cum_cycles} > b:")
+                emit(indent + 1,
+                     f'raise BudgetExceeded(f"exceeded cycle budget '
+                     f'{{b}} ({cum_cycles} cycles after {cum_steps} '
+                     f'steps)", budget=b, cycles={cum_cycles}, '
+                     f'steps={cum_steps})')
+            cum_steps += block_len[pc]
+            end = pc + block_len[pc]
+            transferred = False
+            for p in range(pc, end):
+                instruction = program[p]
+                if isinstance(instruction, Ret):
+                    emit_leaf(regs, cum_cycles, indent)
+                    return
+                if isinstance(instruction, Br):
+                    pc = p + 1 + instruction.offset
+                    transferred = True
+                    break
+                if isinstance(instruction, Branch):
+                    value = regs.get(instruction.rs.index, _ZERO)
+                    taken = p + 1 + instruction.offset
+                    if value[0] == "k":
+                        pc = (taken
+                              if _branch_taken(instruction.name, value[1])
+                              else p + 1)
+                        transferred = True
+                        break
+                    mn, mx, _ = _info(value)
+                    decided = _branch_decide(instruction.name, mn, mx)
+                    if decided is not None:
+                        pc = taken if decided else p + 1
+                        transferred = True
+                        break
+                    condition = _branch_cond(instruction.name, value[1],
+                                             mx)
+                    taken_regs = dict(regs)
+                    fall_regs = dict(regs)
+                    # BEQ-taken / BNE-fallthrough pin the register to an
+                    # exact value; downstream reads of it const-fold.
+                    if instruction.name == "BEQ":
+                        taken_regs[instruction.rs.index] = _ZERO
+                    elif instruction.name == "BNE":
+                        fall_regs[instruction.rs.index] = _ZERO
+                    emit(indent, f"if {condition}:")
+                    walk(taken, taken_regs, dict(memo), cum_cycles,
+                         cum_steps, indent + 1)
+                    emit(indent, "else:")
+                    walk(p + 1, fall_regs, dict(memo), cum_cycles,
+                         cum_steps, indent + 1)
+                    return
+                if emit_straightline(instruction, regs, memo, indent):
+                    return
+            if not transferred:
+                pc = end    # fell through into the next leader (or off
+                            # the end, caught by the range check above)
+
+    entry = {1: ("k", plan.packet_base), 2: ("e", "flen", 0, WORD_MASK, 0),
+             3: ("k", plan.scratch_base)}
+    signature = ("frames, start, b" if budgeted else "frames, start")
+    emit(1, "try:")
+    emit(2, "for frame in (frames[start:] if start else frames):")
+    emit(3, "flen = len(frame)")
+    walk(0, entry, {}, 0, 0, 3)
+    pairs = ", ".join(f"({cycles}, {name})"
+                      for cycles, name in sorted(counters.items()))
+    # Frames complete strictly in order and bump exactly one leaf
+    # counter each, so the index of the faulting frame is start plus
+    # the completed count — no enumerate bookkeeping in the hot loop.
+    fault_index = " + ".join(["start", *counters.values()])
+    emit(1, "except MachineError as error:")
+    emit(2, f"return {fault_index}, accepted, [{pairs}], error")
+    emit(1, f"return len(frames), accepted, [{pairs}], None")
+    lines = _tidy(lines)
+    # Counter zeroing must precede the try block emitted into ``lines``;
+    # q/edge ride as defaults so the hot loop reads locals, not globals.
+    header = [f"def _drive({signature}, q=q, edge=edge):",
+              "    accepted = 0"]
+    counter_init = [f"    {name} = 0" for name in counters.values()]
+    source = "\n".join(header + counter_init + lines)
+    namespace = {
+        "q": Struct("<Q").unpack_from,
+        "edge": _make_edge(plan),
+        "MachineError": MachineError,
+        "BudgetExceeded": BudgetExceeded,
+    }
+    exec(compile(source, "<alpha-batch>", "exec"), namespace)
+    return namespace["_drive"]
+
+
+def _make_edge(plan: FramePlan):
+    """The out-of-line load path: padded-tail words, scratch reads, and
+    the reference's unaligned/unmapped faults — bit-exact with
+    :meth:`repro.alpha.machine.Memory.load_quad` over a rebound
+    reusable packet memory running a store-free program."""
+    pb, sb, ss = plan
+    unpack = Struct("<Q").unpack_from
+
+    def edge(address: int, frame, flen: int) -> int:
+        if address & 7:
+            raise MachineError(f"unaligned LDQ address {address:#x}")
+        offset = address - pb
+        if 0 <= offset and offset + 8 <= flen + (-flen % 8):
+            if offset + 8 <= flen:
+                return unpack(frame, offset)[0]
+            # The zero-padded tail word of the packet region.
+            return int.from_bytes(frame[offset:], "little")
+        if sb <= address and address + 8 <= sb + ss:
+            return 0  # scratch: zeroed per invocation, never written
+        raise MachineError(f"unmapped address {address:#x} (size 8)")
+
+    return edge

@@ -262,6 +262,86 @@ class ExecutionEngine:
             if pc < 0:
                 return MachineResult(regs[0], steps, cycles)
 
+    def run_batch(self, memory: Memory, rebind, frames: list,
+                  registers_fn, start: int = 0,
+                  cycle_budget: int | None = None):
+        """Run one invocation per frame of ``frames[start:]`` without
+        re-entering Python dispatch between packets.
+
+        ``rebind`` and ``registers_fn`` follow the
+        :func:`repro.filters.policy.reusable_packet_memory` /
+        :func:`~repro.filters.policy.filter_registers` contracts: before
+        each invocation the packet region is rebound to the frame bytes
+        and a fresh entry-register dict is built from the frame length.
+        Each invocation is bit-identical to :meth:`run` (or
+        :meth:`run_budgeted` when ``cycle_budget`` is set) on a freshly
+        rebound memory — the block loop below is the same loop with the
+        same check ordering, merely hoisted inside the frame loop.
+
+        Returns ``(next_index, accepted, hist_pairs, error)``:
+        ``next_index`` is one past the last frame *executed* (equal to
+        ``len(frames)`` when every frame completed), ``accepted`` counts
+        completed frames with truthy verdicts, ``hist_pairs`` is the
+        exact cycle histogram of completed frames as ``(cycles, count)``
+        pairs, and ``error`` is the :class:`MachineError` raised by
+        frame ``next_index`` (or ``None``).  The caller resumes at
+        ``next_index + 1`` after accounting the fault, which reproduces
+        the serial per-frame dispatch protocol exactly.
+        """
+        code = self._code
+        blocks = code.blocks
+        block_len = code.block_len
+        block_cost = code.block_cost
+        max_steps = self.max_steps
+        accepted = 0
+        hist: dict[int, int] = {}
+        index = start
+        try:
+            for index in range(start, len(frames)):
+                frame = frames[index]
+                rebind(frame)
+                regs = [0] * NUM_REGS
+                for reg_index, value in registers_fn(len(frame)).items():
+                    regs[reg_index] = value & WORD_MASK
+                pc = 0
+                steps = 0
+                cycles = 0
+                while True:
+                    if steps >= max_steps:
+                        raise MachineError(
+                            f"exceeded {max_steps} steps "
+                            f"(runaway program?)")
+                    length = block_len[pc]
+                    if steps + length > max_steps:
+                        result = self._run_stepwise(
+                            regs, memory, pc, steps, cycles, cycle_budget)
+                        break
+                    cycles += block_cost[pc]
+                    if (cycle_budget is not None
+                            and cycles > cycle_budget):
+                        raise BudgetExceeded(
+                            f"exceeded cycle budget {cycle_budget} "
+                            f"({cycles} cycles after {steps} steps)",
+                            budget=cycle_budget, cycles=cycles,
+                            steps=steps)
+                    steps += length
+                    pc = blocks[pc](regs, memory)
+                    if pc < 0:
+                        result = MachineResult(regs[0], steps, cycles)
+                        break
+                accepted += 1 if result.value else 0
+                hist[result.cycles] = hist.get(result.cycles, 0) + 1
+        except MachineError as error:
+            return index, accepted, list(hist.items()), error
+        return len(frames), accepted, list(hist.items()), None
+
+    def run_budgeted_batch(self, memory: Memory, rebind, frames: list,
+                           registers_fn, start: int = 0,
+                           cycle_budget: int = 1_000_000):
+        """Budgeted spelling of :meth:`run_batch` (same return shape)."""
+        return self.run_batch(memory, rebind, frames, registers_fn,
+                              start, cycle_budget)
+
     def _run_stepwise(self, regs: list, memory: Memory, pc: int,
                       steps: int, cycles: int,
                       cycle_budget: int | None = None) -> MachineResult:

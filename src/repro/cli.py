@@ -143,6 +143,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     policy = _load_policy(args.policy)
     config = RuntimeConfig(
         shards=args.shards,
+        backend=args.backend,
+        batch_size=args.batch_size,
         cycle_budget=args.budget,
         budget_slack=args.budget_slack,
         fault_threshold=args.fault_threshold,
@@ -191,7 +193,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     snapshot = runtime.snapshot()
     model = config.cost_model
     print(f"\nserved {report.packets} packets over {config.shards} "
-          f"shard(s) ({report.contract_drops} contract drops)")
+          f"shard(s), {report.backend} backend "
+          f"({report.contract_drops} contract drops)")
     print(f"  modeled:  {report.modeled_packets_per_second:,.0f} pkts/s "
           f"at {model.clock_mhz:.0f} MHz "
           f"({report.modeled_seconds * 1e3:.1f} ms)")
@@ -483,6 +486,14 @@ def main(argv: list[str] | None = None) -> int:
                          help="replay the trace N times")
     p_serve.add_argument("--seed", type=int, default=19961028)
     p_serve.add_argument("--shards", type=int, default=4)
+    p_serve.add_argument("--backend", choices=("thread", "process"),
+                         default="thread",
+                         help="shard worker vehicle: in-process threads "
+                              "(default) or shared-nothing forked "
+                              "processes")
+    p_serve.add_argument("--batch-size", type=int, default=8192,
+                         help="frames per dispatch chunk on the batched "
+                              "hot path")
     p_serve.add_argument("--budget", type=_budget_value, default=None,
                          help="per-invocation cycle budget (an int, or "
                               "'auto' to derive each extension's budget "

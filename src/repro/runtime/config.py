@@ -23,7 +23,17 @@ from repro.runtime.versions import CanaryConfig
 class RuntimeConfig:
     """Knobs for :class:`repro.runtime.PacketRuntime`.
 
-    ``shards``            modeled cores (worker threads in :meth:`serve`)
+    ``shards``            modeled cores (worker threads or processes in
+                          :meth:`serve`, per ``backend``)
+    ``backend``           how :meth:`serve` hosts its shard workers:
+                          ``"thread"`` (default; in-process, shares the
+                          GIL) or ``"process"`` (shared-nothing forked
+                          workers, one per shard, merged deterministically
+                          on join — see :mod:`repro.runtime.backends`)
+    ``batch_size``        frames per dispatch chunk on the batched hot
+                          path; also the process backend's quarantine-
+                          relay granularity (a worker drains remote
+                          deactivations between chunks)
     ``cycle_budget``      per-invocation cycle cap; ``None`` disables —
                           overruns fault the extension (liveness policy);
                           the string ``"auto"`` derives each extension's
@@ -66,6 +76,8 @@ class RuntimeConfig:
     """
 
     shards: int = 1
+    backend: str = "thread"
+    batch_size: int = 8192
     cycle_budget: int | str | None = None
     budget_slack: float = 0.0
     prescreen: bool = False
@@ -77,7 +89,6 @@ class RuntimeConfig:
     cost_model: AlphaCostModel = field(default_factory=lambda: ALPHA_175)
     max_steps: int = 1_000_000
     cache_capacity: int = 64
-    reservoir_capacity: int = 512
     memory_factory: Callable = reusable_packet_memory
     registers_fn: Callable[[int], dict] = filter_registers
     canary: CanaryConfig = field(default_factory=CanaryConfig)
@@ -91,6 +102,12 @@ class RuntimeConfig:
     def __post_init__(self) -> None:
         if self.shards < 1:
             raise ValueError("need at least one shard")
+        if self.backend not in ("thread", "process"):
+            raise ValueError(
+                f"backend must be 'thread' or 'process'; "
+                f"got {self.backend!r}")
+        if self.batch_size < 1:
+            raise ValueError("batch size must be positive")
         if self.ingress_capacity < 1:
             raise ValueError("ingress capacity must be positive")
         if self.shed_timeout < 0:

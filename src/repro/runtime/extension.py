@@ -3,10 +3,13 @@
 An attached extension carries two kinds of state with very different
 access patterns:
 
-* **hot counters** (packets, verdicts, cycles, latency samples) are
-  bumped on every dispatch.  They are sharded: each worker owns one
-  :class:`ShardCounters` and touches nothing else, so the hot path takes
-  no locks.  A snapshot merges the shards.
+* **hot counters** (packets, verdicts, cycles, and an exact per-cycle
+  latency histogram) are bumped on every dispatch.  They are sharded:
+  each worker owns one :class:`ShardCounters` and touches nothing else,
+  so the hot path takes no locks.  A snapshot merges the shards — and
+  because histogram merge is plain addition, the merge is associative
+  and deterministic regardless of worker interleaving or whether the
+  shards lived in threads or in forked worker processes.
 * **the state machine** (ACTIVE → QUARANTINED → REINSTATED) changes only
   on faults and operator action, so transitions sit behind a lock and
   the dispatch loop reads a single ``active`` boolean.
@@ -22,17 +25,12 @@ from __future__ import annotations
 
 import enum
 import threading
-import zlib
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.alpha.engine import ExecutionEngine
 from repro.alpha.isa import Program
 from repro.pcc.validate import ValidationReport
-from repro.runtime.telemetry import (
-    ExtensionSnapshot,
-    LatencyReservoir,
-    percentile,
-)
+from repro.runtime.telemetry import ExtensionSnapshot, hist_percentile
 
 
 class ExtensionState(enum.Enum):
@@ -52,13 +50,20 @@ class ExtensionState(enum.Enum):
 
 @dataclass
 class ShardCounters:
-    """One shard's private counters for one extension (no locking)."""
+    """One shard's private counters for one extension (no locking).
+
+    ``cycle_hist`` maps an invocation's modeled cycle count to how many
+    invocations cost exactly that — filters have a handful of distinct
+    root-to-leaf path costs, so the dict stays tiny while recording the
+    latency distribution *exactly* (reservoir sampling would add a
+    per-packet RNG draw to the hot path and make merged percentiles
+    depend on sampling order)."""
 
     packets_in: int = 0
     accepted: int = 0
     faults: int = 0
     cycles: int = 0
-    reservoir: LatencyReservoir | None = None
+    cycle_hist: dict[int, int] = field(default_factory=dict)
 
 
 class RuntimeExtension:
@@ -73,8 +78,7 @@ class RuntimeExtension:
 
     def __init__(self, name: str, blob: bytes, digest: str,
                  program: Program, report: ValidationReport | None,
-                 checked: bool, shards: int,
-                 reservoir_capacity: int) -> None:
+                 checked: bool, shards: int) -> None:
         self.name = name
         self.blob = blob
         self.digest = digest
@@ -83,6 +87,12 @@ class RuntimeExtension:
         self.checked = checked
         self.engine: ExecutionEngine | None = None
         self.shard_engines: list[ExecutionEngine] | None = None
+        #: The specialized whole-batch driver from
+        #: :func:`repro.alpha.batch.compile_batch`, or None when the
+        #: program (or the runtime's invocation contract) falls outside
+        #: the fast path — dispatch then batches through the generic
+        #: :meth:`ExecutionEngine.run_batch` instead.
+        self.batch_runner = None
         # Per-extension invocation budget, resolved at admission: a
         # fixed config value, a WCET-derived bound (cycle_budget="auto"),
         # or None for unbudgeted dispatch.  ``wcet_bound`` records the
@@ -101,14 +111,7 @@ class RuntimeExtension:
         self.consecutive_faults = 0
         self.last_fault: str | None = None
         self._lock = threading.Lock()
-        # Reservoir seeds must survive process restarts (PYTHONHASHSEED
-        # varies), so derive them from a stable CRC, not str.__hash__.
-        name_seed = zlib.crc32(name.encode()) & 0xFFFF
-        self.shard_counters = [
-            ShardCounters(reservoir=LatencyReservoir(
-                reservoir_capacity, seed=name_seed ^ index))
-            for index in range(shards)
-        ]
+        self.shard_counters = [ShardCounters() for _ in range(shards)]
 
     # -- fault ledger ----------------------------------------------------
 
@@ -160,6 +163,7 @@ class RuntimeExtension:
             self.checked = candidate.checked
             self.engine = candidate.engine
             self.shard_engines = candidate.shard_engines
+            self.batch_runner = candidate.batch_runner
             self.cycle_budget = candidate.cycle_budget
             self.wcet_bound = candidate.wcet_bound
             self.version = candidate.version
@@ -170,14 +174,14 @@ class RuntimeExtension:
 
     def snapshot(self) -> ExtensionSnapshot:
         packets_in = accepted = faults = cycles = 0
-        samples: list[int] = []
+        merged: dict[int, int] = {}
         for counters in self.shard_counters:
             packets_in += counters.packets_in
             accepted += counters.accepted
             faults += counters.faults
             cycles += counters.cycles
-            if counters.reservoir is not None:
-                samples.extend(counters.reservoir.samples)
+            for value, count in counters.cycle_hist.items():
+                merged[value] = merged.get(value, 0) + count
         return ExtensionSnapshot(
             name=self.name,
             state=self.state.value,
@@ -189,8 +193,8 @@ class RuntimeExtension:
             consecutive_faults=self.consecutive_faults,
             quarantines=self.quarantines,
             cycles=cycles,
-            p50_cycles=percentile(samples, 0.50),
-            p99_cycles=percentile(samples, 0.99),
+            p50_cycles=hist_percentile(merged, 0.50),
+            p99_cycles=hist_percentile(merged, 0.99),
             last_fault=self.last_fault,
             cycle_budget=self.cycle_budget,
             wcet_cycles=self.wcet_bound,

@@ -44,10 +44,18 @@ import threading
 import time
 from dataclasses import dataclass
 
+from repro.alpha.batch import FramePlan, compile_batch
 from repro.alpha.encoding import decode_program
 from repro.alpha.engine import ExecutionEngine
 from repro.alpha.abstract import make_check_hooks
 from repro.errors import PccError, UnknownExtensionError, ValidationError
+from repro.filters.policy import (
+    PACKET_BASE,
+    SCRATCH_BASE,
+    SCRATCH_SIZE,
+    filter_registers,
+    reusable_packet_memory,
+)
 from repro.pcc.container import PccBinary
 from repro.pcc.loader import ExtensionLoader
 from repro.runtime.config import RuntimeConfig
@@ -68,6 +76,9 @@ class DispatchReport:
     shard_cycles: tuple[int, ...]
     clock_mhz: float
     records: list[dict] | None = None
+    #: Which execution vehicle produced this report: "serial"
+    #: (:meth:`dispatch`), "thread", or "process" (:meth:`serve`).
+    backend: str = "serial"
 
     @property
     def modeled_seconds(self) -> float:
@@ -115,6 +126,16 @@ class PacketRuntime:
         self.contract_drops = 0
         self.upgrade_log: list[UpgradeRecord] = []
         self.last_supervisor_report = None
+        # Batch compilation specializes against the *standard* packet-
+        # filter invocation contract; a runtime configured with custom
+        # memory/register callables gets no frame plan and every
+        # extension batches through the generic engine loop instead.
+        if (self.config.memory_factory is reusable_packet_memory
+                and self.config.registers_fn is filter_registers):
+            self._frame_plan = FramePlan(PACKET_BASE, SCRATCH_BASE,
+                                         SCRATCH_SIZE)
+        else:
+            self._frame_plan = None
 
     # -- admission (the only way in is through the loader) ---------------
 
@@ -155,11 +176,20 @@ class PacketRuntime:
             return self._attach_checked(name, blob, digest)
         extension = RuntimeExtension(
             name, blob, digest, report.program, report,
-            checked=False, shards=config.shards,
-            reservoir_capacity=config.reservoir_capacity)
+            checked=False, shards=config.shards)
         extension.engine = ExecutionEngine(
             report.program, config.cost_model, config.max_steps)
+        extension.batch_runner = self._batch_runner_for(report.program)
         return extension
+
+    def _batch_runner_for(self, program):
+        """The specialized whole-batch driver for an unchecked program,
+        or None when the program (loops, stores, size) or this runtime's
+        invocation contract falls outside the fast path."""
+        if self._frame_plan is None:
+            return None
+        return compile_batch(program, self.config.cost_model,
+                             self._frame_plan, self.config.max_steps)
 
     def _resolve_budget(self, extension: RuntimeExtension) -> None:
         """Fix the extension's per-invocation budget at admission.
@@ -199,8 +229,7 @@ class PacketRuntime:
                 f"({error})") from error
         extension = RuntimeExtension(
             name, blob, digest, program, report=None, checked=True,
-            shards=self.config.shards,
-            reservoir_capacity=self.config.reservoir_capacity)
+            shards=self.config.shards)
         extension.shard_engines = [
             ExecutionEngine(program, self.config.cost_model,
                             self.config.max_steps,
@@ -264,6 +293,8 @@ class PacketRuntime:
                 extension.engine = ExecutionEngine(
                     report.program, self.config.cost_model,
                     self.config.max_steps)
+                extension.batch_runner = self._batch_runner_for(
+                    report.program)
         self._resolve_budget(extension)
         extension.reinstate()
         return extension
@@ -376,38 +407,20 @@ class PacketRuntime:
             clock_mhz=self.config.cost_model.clock_mhz, records=records)
 
     def serve(self, frames) -> DispatchReport:
-        """Threaded dispatch: one worker per shard, frames interleaved
+        """Parallel dispatch: one worker per shard, frames interleaved
         round-robin so the modeled cores stay balanced.
 
-        Wall time is the host's (GIL-bound on CPython); the modeled
-        throughput — packets over the busiest shard clock — is the
-        figure of merit, as everywhere else in this reproduction.
+        ``config.backend`` picks the worker vehicle: ``"thread"`` (one
+        in-process thread per shard, GIL-bound wall clock) or
+        ``"process"`` (shared-nothing forked workers whose counters are
+        merged deterministically on join) — see
+        :mod:`repro.runtime.backends`.  Verdicts, cycle clocks, and
+        per-extension counters are bit-identical across backends and to
+        :meth:`dispatch`; only ``wall_seconds`` depends on the vehicle.
         """
-        frames = list(frames)
-        kept, drops = self._apply_contract(frames)
-        self.contract_drops += drops
-        extensions = self.extensions
-        shards = self.shards
-        count = len(shards)
-        before = [shard.cycles for shard in shards]
-        workers = [
-            threading.Thread(
-                target=shard.dispatch,
-                args=(kept[index::count], extensions, self.policy),
-                name=f"pcc-shard-{index}", daemon=True)
-            for index, shard in enumerate(shards)
-        ]
-        started = time.perf_counter()
-        for worker in workers:
-            worker.start()
-        for worker in workers:
-            worker.join()
-        wall = time.perf_counter() - started
-        return DispatchReport(
-            packets=len(kept), contract_drops=drops, wall_seconds=wall,
-            shard_cycles=tuple(shard.cycles - prior for shard, prior
-                               in zip(shards, before)),
-            clock_mhz=self.config.cost_model.clock_mhz)
+        from repro.runtime.backends import get_backend
+
+        return get_backend(self.config.backend).serve(self, frames)
 
     def serve_supervised(self, frames, fault_hook=None):
         """Dispatch under the shard supervisor: bounded per-shard

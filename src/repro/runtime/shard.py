@@ -17,6 +17,19 @@ its own look).  PCC-proven extensions run on the shared unchecked
 engine; downgraded extensions run on this shard's checked engine, whose
 rd()/wr() hooks consult predicates rebound per packet from the policy's
 ``make_checkers``.
+
+Dispatch is **extension-major and batched** on the throughput path: each
+chunk of frames runs through one extension at a time via its compiled
+batch runner (:mod:`repro.alpha.batch`) or the engine's generic
+:meth:`~repro.alpha.engine.ExecutionEngine.run_batch`, so the per-packet
+Python dispatch toll is paid once per chunk instead of once per
+invocation.  The reordering is sound because an invocation is a pure
+function of the frame bytes — the packet region is rebound and the
+scratch region re-zeroed before every run — so per-extension counters,
+cycle totals, verdicts, and the fault/quarantine protocol come out
+bit-identical to the frame-major reference loop (``_dispatch_frames``),
+which still serves the checked tier, canary shadowing, and
+verdict-collecting callers.
 """
 
 from __future__ import annotations
@@ -84,6 +97,80 @@ class Shard:
         quarantined extensions are absent), else ``None`` — the
         benchmark path keeps only counters.
         """
+        if collect:
+            records = self._dispatch_frames(frames, extensions, policy,
+                                            True)
+            self.packets += len(records)
+            return records
+        if not isinstance(frames, (list, tuple)):
+            frames = list(frames)
+        batch_size = self.config.batch_size
+        for start in range(0, len(frames), batch_size):
+            chunk = frames[start:start + batch_size]
+            for extension in extensions:
+                if not extension.active:
+                    continue
+                if extension.checked or extension.canary is not None:
+                    # The checked tier rebinds rd()/wr() predicates per
+                    # packet and canaries shadow per packet: both stay
+                    # on the frame-major reference loop.
+                    self._dispatch_frames(chunk, (extension,), policy,
+                                          False)
+                else:
+                    self._dispatch_batch(chunk, extension)
+        self.packets += len(frames)
+        return None
+
+    def _dispatch_batch(self, frames, extension) -> None:
+        """Extension-major fast path: one engine entry per segment,
+        resuming after each fault exactly where the per-frame loop
+        would — same counters, same quarantine transitions."""
+        shard_index = self.index
+        counters = extension.shard_counters[shard_index]
+        threshold = self.config.fault_threshold
+        budget = extension.cycle_budget
+        runner = extension.batch_runner
+        engine = extension.engine
+        total = len(frames)
+        start = 0
+        while start < total and extension.active:
+            if runner is not None:
+                done, accepted, pairs, error = runner.run(
+                    frames, start, budget)
+            else:
+                done, accepted, pairs, error = engine.run_batch(
+                    self.memory, self.rebind, frames,
+                    self.registers_fn, start, budget)
+            completed = done - start
+            if completed:
+                counters.packets_in += completed
+                counters.accepted += accepted
+                hist = counters.cycle_hist
+                segment_cycles = 0
+                for value, count in pairs:
+                    if count:
+                        hist[value] = hist.get(value, 0) + count
+                        segment_cycles += value * count
+                counters.cycles += segment_cycles
+                self.cycles += segment_cycles
+                if extension.consecutive_faults:
+                    extension.record_success()
+            if error is None:
+                return
+            counters.packets_in += 1
+            counters.faults += 1
+            if isinstance(error, BudgetExceeded):
+                # The overrun consumed modeled time up to the point the
+                # budget tripped; other faults are instantaneous aborts.
+                counters.cycles += error.cycles
+                self.cycles += error.cycles
+            extension.record_fault(fault_reason(error), threshold)
+            start = done + 1
+
+    def _dispatch_frames(self, frames, extensions, policy,
+                         collect: bool) -> list[dict] | None:
+        """The frame-major reference loop: checked tier, canary
+        shadowing, and verdict collection."""
         config = self.config
         threshold = config.fault_threshold
         shard_index = self.index
@@ -92,7 +179,6 @@ class Shard:
         memory = self.memory
         records = [] if collect else None
         for frame in frames:
-            self.packets += 1
             verdicts = {} if collect else None
             for extension in extensions:
                 if not extension.active:
@@ -130,9 +216,11 @@ class Shard:
                     if collect:
                         verdicts[extension.name] = None
                     continue
-                counters.cycles += result.cycles
-                counters.reservoir.add(result.cycles)
-                self.cycles += result.cycles
+                cycles = result.cycles
+                counters.cycles += cycles
+                hist = counters.cycle_hist
+                hist[cycles] = hist.get(cycles, 0) + 1
+                self.cycles += cycles
                 verdict = bool(result.value)
                 counters.accepted += verdict
                 if extension.consecutive_faults:

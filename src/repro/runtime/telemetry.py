@@ -6,10 +6,14 @@ path.  Counters here are therefore *per shard per extension* — each
 worker bumps plain integers it exclusively owns — and aggregation
 happens only when a snapshot is taken.
 
-Latency percentiles use reservoir sampling (algorithm R) with a seeded
-RNG per reservoir, so snapshots are deterministic for a deterministic
-packet assignment: the same trace through the same shard layout always
-reports the same p50/p99.
+Latency percentiles come from **exact per-cycle histograms**: an Alpha
+filter has only a handful of distinct root-to-leaf path costs, so a
+``{cycles: count}`` dict records the full latency distribution in a few
+entries, merges across shards (and across worker *processes*) by plain
+addition — associative, order-independent, deterministic — and costs the
+hot path one dict bump instead of a reservoir's per-packet RNG draw.
+:class:`LatencyReservoir` (algorithm R with a seeded RNG) remains for
+consumers sampling genuinely high-cardinality streams.
 """
 
 from __future__ import annotations
@@ -64,6 +68,36 @@ def percentile(values: list[int], fraction: float) -> float:
     high = min(low + 1, len(ordered) - 1)
     weight = rank - low
     return ordered[low] * (1.0 - weight) + ordered[high] * weight
+
+
+def hist_percentile(hist: dict[int, int], fraction: float) -> float:
+    """:func:`percentile` of the multiset a ``{value: count}`` histogram
+    denotes, computed from cumulative counts without expanding it.
+
+    Bit-equal to ``percentile(expanded, fraction)`` for any expansion
+    order; 0.0 for an empty histogram.
+    """
+    total = sum(hist.values())
+    if total == 0:
+        return 0.0
+    ordered = sorted(hist.items())
+    if total == 1:
+        return float(ordered[0][0])
+    rank = fraction * (total - 1)
+    low = int(rank)
+    weight = rank - low
+    # The values at positions ``low`` and ``low + 1`` of the sorted
+    # expansion (clamped to the last element, as percentile() does).
+    low_value = high_value = None
+    seen = 0
+    for value, count in ordered:
+        if low_value is None and seen + count > low:
+            low_value = value
+        if seen + count > min(low + 1, total - 1):
+            high_value = value
+            break
+        seen += count
+    return low_value * (1.0 - weight) + high_value * weight
 
 
 @dataclass(frozen=True)

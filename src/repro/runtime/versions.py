@@ -201,7 +201,8 @@ class ShadowCanary:
                           reason=f"candidate fault: {fault_reason(error)}")
             return
         counters.cycles += result.cycles
-        counters.reservoir.add(result.cycles)
+        hist = counters.cycle_hist
+        hist[result.cycles] = hist.get(result.cycles, 0) + 1
         shard.canary_cycles += result.cycles
         verdict = bool(result.value)
         counters.accepted += verdict

@@ -1,0 +1,311 @@
+"""Backend/batch differential suite: the execution vehicle may never
+change semantics.
+
+Three layers of the same claim, each checked property-based:
+
+* **backends** — serial :meth:`PacketRuntime.dispatch`, the thread
+  backend, and the forked process backend must produce bit-identical
+  snapshots (verdicts, counters, cycle clocks, histograms/percentiles,
+  fault ledgers, quarantine transitions) on the same frames, including
+  traces that inject faults (budget overruns, checked-tier violations);
+* **batch vs per-frame** — :meth:`ExecutionEngine.run_batch` must equal
+  the per-frame run/run_budgeted dispatch protocol on *arbitrary*
+  machine programs (loops, wild loads, stores, step limits), not just
+  the well-behaved filters;
+* **compiled vs generic** — :func:`repro.alpha.batch.compile_batch`
+  drivers must equal the generic ``run_batch`` on random certifiable
+  filter shapes and on the paper filters, across frame degeneracies
+  (empty, unaligned, sub-contract lengths) and budgets.
+
+Multi-shard runs with faults in flight are only *end-state* comparable:
+the instant of the quarantine flip is scheduling-dependent on every
+backend (threads read ``active`` once per chunk too), so those tests pin
+the converged state, while strict bit-identity tests pin ``shards=1``.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.alpha.batch import FramePlan, compile_batch
+from repro.alpha.engine import ExecutionEngine
+from repro.alpha.parser import parse_program
+from repro.errors import BudgetExceeded, MachineError
+from repro.filters.policy import (
+    PACKET_BASE,
+    SCRATCH_BASE,
+    SCRATCH_SIZE,
+    filter_registers,
+    reusable_packet_memory,
+)
+from repro.filters.trace import TraceConfig, generate_trace
+from repro.perf.cost import ALPHA_175
+from repro.runtime import PacketRuntime, RuntimeConfig
+
+from tests.generators import random_filter_source, random_machine_program
+
+PLAN = FramePlan(PACKET_BASE, SCRATCH_BASE, SCRATCH_SIZE)
+
+#: Frames that poke every edge of the driver's load guards: empty,
+#: single byte, one-short-of-aligned, exactly one word, unaligned tail,
+#: and a full contract-sized frame.
+DEGENERATE_FRAMES = [
+    b"", b"\x00", b"\x01" * 7, b"\xff" * 8, b"\x08" * 9,
+    bytes(range(64)),
+]
+
+frame_strategy = st.binary(min_size=0, max_size=96)
+
+
+def _attach_all(runtime, blobs):
+    for name, blob in sorted(blobs.items()):
+        runtime.attach(name, blob)
+
+
+def _fingerprint(snapshot):
+    """Everything a backend could corrupt; excludes wall-clock fields."""
+    return (snapshot.packets_in, snapshot.faults, snapshot.contract_drops,
+            snapshot.shard_cycles, snapshot.extensions)
+
+
+def _serve_on(backend, policy, blobs, frames, *, shards=1,
+              cycle_budget=None, fault_threshold=3,
+              downgrade_unproven=False):
+    runtime = PacketRuntime(policy, RuntimeConfig(
+        shards=shards, backend=backend, cycle_budget=cycle_budget,
+        fault_threshold=fault_threshold,
+        downgrade_unproven=downgrade_unproven))
+    _attach_all(runtime, blobs)
+    runtime.serve(frames)
+    return runtime.snapshot()
+
+
+def _dispatch_on(policy, blobs, frames, *, shards=1, cycle_budget=None,
+                 fault_threshold=3, downgrade_unproven=False):
+    runtime = PacketRuntime(policy, RuntimeConfig(
+        shards=shards, cycle_budget=cycle_budget,
+        fault_threshold=fault_threshold,
+        downgrade_unproven=downgrade_unproven))
+    _attach_all(runtime, blobs)
+    runtime.dispatch(frames)
+    return runtime.snapshot()
+
+
+# -- backends ------------------------------------------------------------
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 2**32 - 1), packets=st.integers(5, 80),
+       shards=st.integers(1, 4),
+       extra=st.lists(frame_strategy, max_size=6))
+def test_backends_bit_identical_on_random_traces(
+        filter_policy, filter_blobs, seed, packets, shards, extra):
+    """Fault-free traffic: full snapshot equality at any shard count,
+    serial vs thread vs process, including out-of-contract drops."""
+    frames = generate_trace(TraceConfig(packets=packets, seed=seed)) + extra
+    serial = _dispatch_on(filter_policy, filter_blobs, frames,
+                          shards=shards)
+    threaded = _serve_on("thread", filter_policy, filter_blobs, frames,
+                         shards=shards)
+    forked = _serve_on("process", filter_policy, filter_blobs, frames,
+                       shards=shards)
+    assert _fingerprint(serial) == _fingerprint(threaded)
+    assert _fingerprint(serial) == _fingerprint(forked)
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 2**32 - 1),
+       budget=st.sampled_from([5, 12, 20, 41]),
+       threshold=st.sampled_from([1, 2, 3, None]))
+def test_backends_bit_identical_under_budget_faults(
+        filter_policy, filter_blobs, seed, budget, threshold):
+    """Injected budget overruns (and the quarantines they trigger) land
+    identically on every backend at one shard — counters, consecutive
+    faults, last_fault strings, states, histograms."""
+    frames = generate_trace(TraceConfig(packets=40, seed=seed))
+    serial = _dispatch_on(filter_policy, filter_blobs, frames,
+                          cycle_budget=budget, fault_threshold=threshold)
+    threaded = _serve_on("thread", filter_policy, filter_blobs, frames,
+                         cycle_budget=budget, fault_threshold=threshold)
+    forked = _serve_on("process", filter_policy, filter_blobs, frames,
+                       cycle_budget=budget, fault_threshold=threshold)
+    assert _fingerprint(serial) == _fingerprint(threaded)
+    assert _fingerprint(serial) == _fingerprint(forked)
+
+
+@settings(max_examples=8, deadline=None)
+@given(seed=st.integers(0, 2**32 - 1), threshold=st.integers(1, 4))
+def test_backends_bit_identical_on_checked_tier_faults(
+        filter_policy, filter_blobs, rogue_blob, seed, threshold):
+    """A downgraded rogue faulting on its first packets: the checked
+    tier's wr-violation ledger and the quarantine flip are identical
+    serial vs thread vs process at one shard."""
+    blobs = {"filter1": filter_blobs["filter1"], "rogue": rogue_blob}
+    frames = generate_trace(TraceConfig(packets=25, seed=seed))
+    serial = _dispatch_on(filter_policy, blobs, frames,
+                          fault_threshold=threshold,
+                          downgrade_unproven=True)
+    threaded = _serve_on("thread", filter_policy, blobs, frames,
+                         fault_threshold=threshold,
+                         downgrade_unproven=True)
+    forked = _serve_on("process", filter_policy, blobs, frames,
+                       fault_threshold=threshold,
+                       downgrade_unproven=True)
+    assert _fingerprint(serial) == _fingerprint(threaded)
+    assert _fingerprint(serial) == _fingerprint(forked)
+    rogue = next(ext for ext in serial.extensions if ext.name == "rogue")
+    assert rogue.state == "quarantined"
+    assert rogue.quarantines == 1
+    assert "wr" in rogue.last_fault
+
+
+@settings(max_examples=6, deadline=None)
+@given(seed=st.integers(0, 2**32 - 1), shards=st.integers(2, 4))
+def test_multishard_quarantine_converges_identically(
+        filter_policy, filter_blobs, rogue_blob, seed, shards):
+    """Multi-shard with a faulting extension: the *moment* of the flip is
+    scheduling-dependent, but the converged end state — quarantined
+    rogue, exactly one transition, untouched healthy-filter verdicts —
+    must agree across backends."""
+    blobs = {"filter2": filter_blobs["filter2"], "rogue": rogue_blob}
+    frames = generate_trace(TraceConfig(packets=60, seed=seed))
+    states = {}
+    for backend in ("thread", "process"):
+        snapshot = _serve_on(backend, filter_policy, blobs, frames,
+                             shards=shards, fault_threshold=2,
+                             downgrade_unproven=True)
+        rogue = next(ext for ext in snapshot.extensions
+                     if ext.name == "rogue")
+        healthy = next(ext for ext in snapshot.extensions
+                       if ext.name == "filter2")
+        assert rogue.state == "quarantined"
+        assert rogue.quarantines == 1
+        # Isolation is exact: the healthy filter saw every frame.
+        assert healthy.packets_in == len(frames)
+        assert healthy.faults == 0
+        states[backend] = (healthy.accepted, healthy.cycles,
+                           snapshot.contract_drops)
+    assert states["thread"] == states["process"]
+
+
+# -- batch vs per-frame --------------------------------------------------
+
+
+def _normalize(outcome):
+    """Comparable form of a (next_index, accepted, hist_pairs, error)
+    batch outcome: drop zero-count bins, flatten the error."""
+    done, accepted, pairs, error = outcome
+    if error is None:
+        flat = None
+    elif isinstance(error, BudgetExceeded):
+        flat = (type(error).__name__, str(error), error.budget,
+                error.cycles, error.steps)
+    else:
+        flat = (type(error).__name__, str(error))
+    return done, accepted, {c: n for c, n in pairs if n}, flat
+
+
+def _per_frame_reference(engine, frames, start, cycle_budget):
+    """The serial dispatch protocol run/run_budgeted would follow."""
+    memory, rebind = reusable_packet_memory()
+    accepted = 0
+    hist: dict[int, int] = {}
+    index = start
+    while index < len(frames):
+        frame = frames[index]
+        rebind(frame)
+        registers = filter_registers(len(frame))
+        try:
+            if cycle_budget is None:
+                result = engine.run(memory, registers)
+            else:
+                result = engine.run_budgeted(memory, registers,
+                                             cycle_budget)
+        except MachineError as error:
+            return index, accepted, list(hist.items()), error
+        if result.value:
+            accepted += 1
+        hist[result.cycles] = hist.get(result.cycles, 0) + 1
+        index += 1
+    return index, accepted, list(hist.items()), None
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 2**32 - 1), length=st.integers(3, 12),
+       start=st.integers(0, 2),
+       budget=st.sampled_from([None, 9, 30, 10_000]))
+def test_run_batch_matches_per_frame_on_wild_programs(
+        seed, length, start, budget):
+    """run_batch over raw random programs — loops, stores, unaligned and
+    unmapped loads, step limits — equals the per-frame protocol on the
+    full outcome space, at every resume offset and budget."""
+    rng = random.Random(seed)
+    program = random_machine_program(rng, length)
+    engine = ExecutionEngine(program, ALPHA_175, max_steps=400)
+    frames = DEGENERATE_FRAMES + [bytes([rng.randrange(256)] * n)
+                                  for n in (64, 65, 80)]
+    memory, rebind = reusable_packet_memory()
+    got = engine.run_batch(memory, rebind, frames, filter_registers,
+                           start, budget)
+    want = _per_frame_reference(engine, frames, start, budget)
+    assert _normalize(got) == _normalize(want)
+
+
+# -- compiled vs generic batch -------------------------------------------
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 2**32 - 1), blocks=st.integers(1, 6),
+       start=st.integers(0, 2),
+       budget=st.sampled_from([None, 7, 15, 33, 100_000]))
+def test_compiled_runner_matches_generic_batch(seed, blocks, start,
+                                               budget):
+    """compile_batch drivers vs the generic engine loop on random
+    well-formed filter shapes, over degenerate and contract frames."""
+    rng = random.Random(seed)
+    program = parse_program(random_filter_source(rng, blocks))
+    runner = compile_batch(program, ALPHA_175, PLAN)
+    assert runner is not None, "store-free filter must batch-compile"
+    engine = ExecutionEngine(program, ALPHA_175)
+    frames = DEGENERATE_FRAMES + [bytes(rng.randrange(256)
+                                        for _ in range(n))
+                                  for n in (1, 15, 64, 64, 200, 1518)]
+    memory, rebind = reusable_packet_memory()
+    got = runner.run(frames, start, budget)
+    want = engine.run_batch(memory, rebind, frames, filter_registers,
+                            start, budget)
+    assert _normalize(got) == _normalize(want)
+
+
+@pytest.mark.parametrize("budget", [None, 5, 12, 20, 37, 42, 100_000])
+def test_paper_filters_compiled_vs_generic(certified_filters, budget):
+    """The four paper filters (the binaries the runtime actually serves)
+    round-trip through the compiled drivers bit-identically at every
+    budget, including mid-frame budget faults and resume-after-fault."""
+    rng = random.Random(0xA1F4A)
+    frames = (generate_trace(TraceConfig(packets=300, seed=7))
+              + DEGENERATE_FRAMES
+              + [bytes(rng.randrange(256) for _ in range(n))
+                 for n in (1, 15, 1518)])
+    for name in ("filter1", "filter2", "filter3", "filter4"):
+        program = certified_filters[name].program
+        runner = compile_batch(program, ALPHA_175, PLAN)
+        assert runner is not None, name
+        engine = ExecutionEngine(program, ALPHA_175)
+        memory, rebind = reusable_packet_memory()
+        # Walk segment-to-segment exactly as Shard._dispatch_batch does,
+        # so resume-after-fault offsets are covered too.
+        start = 0
+        while start < len(frames):
+            got = runner.run(frames, start, budget)
+            want = engine.run_batch(memory, rebind, frames,
+                                    filter_registers, start, budget)
+            assert _normalize(got) == _normalize(want), (name, start)
+            done, _, _, error = got
+            if error is None:
+                break
+            start = done + 1
