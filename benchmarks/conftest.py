@@ -104,6 +104,21 @@ def record_json():
 
 
 @pytest.fixture(scope="session")
+def proof_store_workload():
+    """Scale knobs for ``bench_proof_store``: upgrade-chain length and
+    fleet size, derived from the shared quick-mode setting.  The pass
+    count stays fixed — the >=3x speedup bar is about subproof reuse
+    within one program, not about workload size."""
+    packets = bench_packets()
+    quick = packets <= 2000
+    return {
+        "passes": 8,
+        "chain_rounds": 3 if quick else 8,
+        "fleet": 4 if quick else 8,
+    }
+
+
+@pytest.fixture(scope="session")
 def analysis_workload():
     """Scale knob for ``bench_analysis_prescreen``: how many timed
     repetitions per corpus blob, derived from the shared quick-mode

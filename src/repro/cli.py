@@ -223,15 +223,44 @@ def _cmd_upgrade(args: argparse.Namespace) -> int:
     runtime = PacketRuntime(policy, RuntimeConfig(
         shards=args.shards, cycle_budget=args.budget))
     name = Path(args.live).stem
+    canary = CanaryConfig(sample_fraction=args.sample,
+                          promote_after=args.promote_after,
+                          seed=args.seed)
     try:
-        live = runtime.attach(name, Path(args.live).read_bytes())
+        base_blob = Path(args.live).read_bytes()
+        live = runtime.attach(name, base_blob)
         print(f"  ATTACHED {name} v{live.version} "
               f"(digest {live.digest[:12]})")
-        shadow = runtime.upgrade(
-            name, Path(args.candidate).read_bytes(),
-            CanaryConfig(sample_fraction=args.sample,
-                         promote_after=args.promote_after,
-                         seed=args.seed))
+        if args.incremental:
+            # Candidate is assembly source: certify it as a block-level
+            # proof patch against the serving container, reusing its
+            # invariant table (loop edits keep their cut points) and the
+            # runtime loader's shared subproof store.
+            from repro.lf.encode import decode_logic_formula
+            from repro.pcc.container import PccBinary, unpack_invariants
+            from repro.pcc.incremental import certify_incremental
+
+            base = PccBinary.from_bytes(base_blob)
+            invariants = {
+                pc: decode_logic_formula(term)
+                for pc, term
+                in unpack_invariants(base.invariants).items()}
+            result = certify_incremental(
+                base_blob, Path(args.candidate).read_text(), policy,
+                invariants=invariants,
+                store=runtime.loader.proof_store)
+            print(f"  PATCH    {result.reused_parts}/{result.total_parts} "
+                  f"subproofs reused, {result.proved_parts} proved fresh "
+                  f"(blocks changed: "
+                  f"{list(result.changed_blocks) or 'none'})")
+            print(f"           {result.patch_bytes} patch bytes vs "
+                  f"{result.full_proof_bytes} full proof bytes, certified "
+                  f"in {result.certify_seconds * 1e3:.1f} ms")
+            shadow = runtime.upgrade(name, canary=canary,
+                                     patch=result.patch)
+        else:
+            shadow = runtime.upgrade(
+                name, Path(args.candidate).read_bytes(), canary)
     except ValueError as error:
         raise SystemExit(f"error: {error}")
     candidate = shadow.candidate
@@ -516,7 +545,13 @@ def main(argv: list[str] | None = None) -> int:
     p_upgrade = sub.add_parser(
         "upgrade", help="hot-swap a binary behind a shadow canary")
     p_upgrade.add_argument("live", help="the currently-serving PCC binary")
-    p_upgrade.add_argument("candidate", help="the replacement PCC binary")
+    p_upgrade.add_argument("candidate",
+                           help="the replacement PCC binary (or assembly "
+                                "source with --incremental)")
+    p_upgrade.add_argument("--incremental", action="store_true",
+                           help="treat the candidate as assembly source "
+                                "and admit it as a block-level proof "
+                                "patch against the live container")
     p_upgrade.add_argument("--policy", default="packet-filter")
     p_upgrade.add_argument("--packets", type=int, default=2000)
     p_upgrade.add_argument("--seed", type=int, default=19961028)

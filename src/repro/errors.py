@@ -103,6 +103,19 @@ class ValidationError(PccError):
     malformed container, or proof/predicate mismatch)."""
 
 
+class PatchError(ValidationError):
+    """Consumer-side rejection of an incremental proof patch (wrong base,
+    stale policy fingerprint, unresolvable or corrupted subproof, or a
+    malformed patch container).
+
+    Subclasses :class:`ValidationError` because a patch failure is a
+    validation failure — code paths that reject on ``ValidationError``
+    reject bad patches with no changes — but the distinct type lets the
+    upgrade plane fall back to full certification on *patch* problems
+    specifically.
+    """
+
+
 class UnknownExtensionError(PccError, KeyError):
     """A control-plane call named an extension that is not attached.
 

@@ -225,3 +225,66 @@ def reference_checksum(data: bytes) -> int:
     while total >> 16:
         total = (total & 0xFFFF) + (total >> 16)
     return (~total) & 0xFFFF
+
+
+# -- multi-pass variants (incremental-certification workloads) -------------
+
+#: Instructions in one pass of :func:`multipass_checksum_source` (the
+#: loop-head cut point of pass ``k`` sits at ``3 + k * MULTIPASS_STRIDE``).
+MULTIPASS_STRIDE = 11
+
+
+def multipass_cut_points(passes: int) -> tuple[int, ...]:
+    """The loop-head pcs of a ``passes``-pass program, in pass order."""
+    return tuple(3 + k * MULTIPASS_STRIDE for k in range(passes))
+
+
+def multipass_checksum_source(passes: int,
+                              shifts: Mapping[int, int] | None = None,
+                              commuted=()) -> str:
+    """A ``passes``-pass digest over the checksum buffer, one loop per
+    pass, each mixing the loaded word into ``r0`` with a multiply/shift
+    round.
+
+    Every pass is its own cut point (:func:`multipass_cut_points`), so
+    the safety predicate has ``passes + 1`` independent obligations and
+    a single-pass edit changes at most one of them — the workload the
+    incremental-certification differential suite and
+    ``benchmarks/bench_proof_store.py`` are built on.  Two edit knobs,
+    both confined to one basic block per pass:
+
+    * ``shifts`` maps a pass index to its mix-shift amount (default 7).
+      The mixed registers are dead downstream, so a shift edit changes
+      the *code* but provably not the safety predicate — the incremental
+      path reuses every subproof and full validation still passes.
+    * ``commuted`` lists pass indices whose address add is written
+      ``r4 + r1`` instead of ``r1 + r4``.  The commuted ``rd()`` address
+      term is structurally different, so toggling a pass re-proves
+      exactly that pass's obligation.
+    """
+    shifts = dict(shifts or {})
+    commuted = set(commuted)
+    lines = ["        SUBQ   r0, r0, r0      % digest := 0"]
+    for k in range(passes):
+        shift = shifts.get(k, 7)
+        address = "r4, r1, r5" if k in commuted else "r1, r4, r5"
+        lines += [
+            "        SUBQ   r4, r4, r4      % i := 0",
+            f"        BR     check{k}",
+            f"loop{k}: ADDQ   {address}",
+            "        LDQ    r5, 0(r5)",
+            "        MULQ   r5, 3, r6",
+            "        XOR    r0, r6, r0",
+            f"        SLL    r5, {shift}, r6",
+            "        ADDQ   r0, r6, r0",
+            "        ADDQ   r4, 8, r4",
+            f"check{k}: CMPULT r4, r2, r5",
+            f"        BNE    r5, loop{k}",
+        ]
+    lines.append("        RET")
+    return "\n".join(lines) + "\n"
+
+
+def multipass_invariants(passes: int) -> dict[int, Formula]:
+    """One :func:`checksum_invariant` per pass, keyed by its cut pc."""
+    return {pc: checksum_invariant() for pc in multipass_cut_points(passes)}

@@ -14,7 +14,11 @@
   fingerprint) plus parallel batch validation with per-item error
   isolation;
 * :mod:`repro.pcc.api` — the high-level producer/consumer façade used by
-  the examples.
+  the examples;
+* :mod:`repro.pcc.incremental` — block-level proof patches: reuse
+  unchanged obligations' subproofs from a content-addressed store
+  (:mod:`repro.proof.store`), ship only the changed blocks' proofs, and
+  fully revalidate the reassembled container before admission.
 """
 
 from repro.pcc.container import PccBinary, SectionLayout
@@ -28,6 +32,13 @@ from repro.pcc.loader import (
 )
 from repro.pcc.api import CodeProducer, CodeConsumer, LoadedExtension
 from repro.pcc.negotiate import PolicyProposal, propose_policy, accept_policy
+from repro.pcc.incremental import (
+    ProofPatch,
+    apply_patch,
+    block_diff,
+    certify_incremental,
+    obligation_digest,
+)
 
 __all__ = [
     "PccBinary",
@@ -45,4 +56,9 @@ __all__ = [
     "PolicyProposal",
     "propose_policy",
     "accept_policy",
+    "ProofPatch",
+    "apply_patch",
+    "block_diff",
+    "certify_incremental",
+    "obligation_digest",
 ]

@@ -116,6 +116,15 @@ class LoaderStats:
     ``pool_retries`` counts jobs re-submitted to a fresh pool after a
     timeout; ``pool_fallbacks`` counts jobs that ultimately degraded to
     in-process validation.  All three stay 0 on a healthy pool.
+
+    ``patch_loads`` counts :meth:`~ExtensionLoader.load_patch` calls;
+    ``patch_hits`` the subset whose patch applied and whose reassembled
+    container was admitted; ``patch_rejects`` counts patches refused
+    (wrong base, wrong fingerprint, tampered subproof, or a reassembled
+    container that failed full validation).  ``patch_bytes_saved``
+    accumulates ``len(reassembled container) - len(patch wire)`` over
+    successful patch loads — the transport bytes the incremental path
+    avoided shipping.
     """
 
     loads: int
@@ -129,6 +138,10 @@ class LoaderStats:
     pool_timeouts: int = 0
     pool_retries: int = 0
     pool_fallbacks: int = 0
+    patch_loads: int = 0
+    patch_hits: int = 0
+    patch_rejects: int = 0
+    patch_bytes_saved: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -191,12 +204,16 @@ class ExtensionLoader:
 
     def __init__(self, policy: SafetyPolicy, capacity: int = 64,
                  prescreen: bool = False,
-                 analysis_context=None) -> None:
+                 analysis_context=None, proof_store=None) -> None:
         if capacity < 1:
             raise ValueError("cache capacity must be at least 1")
         self.policy = policy
         self.capacity = capacity
         self.prescreen = prescreen
+        # Shared content-addressed subproof store for the incremental
+        # path (:meth:`load_patch`); optional and untrusted — see
+        # :mod:`repro.proof.store`.
+        self.proof_store = proof_store
         self.fingerprint = policy_fingerprint(policy)
         self._cache: OrderedDict[tuple[str, str], ValidationReport] = \
             OrderedDict()
@@ -214,6 +231,10 @@ class ExtensionLoader:
         self._pool_timeouts = 0
         self._pool_retries = 0
         self._pool_fallbacks = 0
+        self._patch_loads = 0
+        self._patch_hits = 0
+        self._patch_rejects = 0
+        self._patch_bytes_saved = 0
 
     # -- keying ----------------------------------------------------------
 
@@ -254,6 +275,45 @@ class ExtensionLoader:
         report = validate(blob, self.policy, measure_memory)
         self._store(key, report)
         return report
+
+    def load_patch(self, patch, base: bytes | PccBinary
+                   ) -> tuple[ValidationReport, bytes]:
+        """Admit an incremental :class:`~repro.pcc.incremental.ProofPatch`
+        against a base container this consumer already holds.
+
+        Returns ``(report, reassembled bytes)``: the patch is applied
+        (every subproof re-hashed against its content address, missing
+        ones resolved from this loader's ``proof_store`` or the base),
+        and the reassembled container then goes through the ordinary
+        :meth:`load` — the full VCGen + LF type-check pipeline, or an
+        O(hash) cache hit if these exact bytes were admitted before.  A
+        patch can therefore never admit anything :meth:`load` would not.
+        Raises :class:`~repro.errors.PatchError` on any patch mismatch
+        and :class:`ValidationError` if the reassembled container fails
+        validation; both count as ``patch_rejects``.
+        """
+        # Imported lazily to keep the plain validation path free of the
+        # incremental machinery (and to avoid a module cycle).
+        from repro.pcc.incremental import ProofPatch, apply_patch
+
+        with self._lock:
+            self._patch_loads += 1
+        base_blob = self._blob(base)
+        try:
+            if isinstance(patch, (bytes, bytearray)):
+                patch = ProofPatch.from_bytes(bytes(patch))
+            reassembled = apply_patch(patch, base_blob, self.policy,
+                                      store=self.proof_store)
+            blob = reassembled.to_bytes()
+            report = self.load(blob)
+        except ValidationError:
+            with self._lock:
+                self._patch_rejects += 1
+            raise
+        with self._lock:
+            self._patch_hits += 1
+            self._patch_bytes_saved += max(0, len(blob) - patch.size)
+        return report, blob
 
     # -- pre-screening ---------------------------------------------------
 
@@ -469,7 +529,10 @@ class ExtensionLoader:
                                self.capacity, self._prescreen_checks,
                                self._prescreen_rejects,
                                self._pool_timeouts, self._pool_retries,
-                               self._pool_fallbacks)
+                               self._pool_fallbacks,
+                               self._patch_loads, self._patch_hits,
+                               self._patch_rejects,
+                               self._patch_bytes_saved)
 
     # -- negotiation -----------------------------------------------------
 

@@ -1,0 +1,311 @@
+"""Content-addressed subproof store: hash-consed LF proof terms.
+
+Table 1 shows proofs (814–2190 B) dwarfing the code they certify
+(16–172 B), and a fleet of extensions certified under one policy repeats
+the same subproofs constantly — every filter proves the same
+precondition-shaped obligations, and an upgraded extension re-proves
+every obligation its edit did not touch.  This store makes those bytes
+shared: an LF proof term is keyed by the SHA-256 of its canonical
+:mod:`repro.lf.binary` encoding (the same content-addressing discipline
+as the loader's validation cache), so identical subproofs are stored
+once no matter how many extensions carry them.
+
+**Trust model.**  The store is *untrusted* plumbing, exactly like the
+proof section of a PCC binary: nothing admits code because a digest
+matched.  Every subproof that leaves the store is re-hashed against its
+key before it is returned (a corrupted entry is dropped and reported as
+a miss — fail closed), and everything assembled from stored subproofs
+goes through the full :func:`repro.pcc.validate` pipeline — VC
+recomputation plus LF type-checking — before admission.  A forged,
+stale, substituted, or bit-flipped entry can therefore waste producer
+time, never flip a consumer verdict; ``tests/proof/test_store_tampering
+.py`` holds the store to that.
+
+Alongside the blob map the store keeps a *binding* index
+``(policy fingerprint, obligation digest) -> subproof digest`` so an
+incremental certifier can ask "do we already hold a proof of this exact
+obligation under this exact policy?", and a *manifest* index
+``(fingerprint, program key) -> ordered obligation digests`` so a warm
+upgrade chain can skip recomputing a base container's obligations
+entirely.  Both are hints for the untrusted producer: a binding whose
+subproof has been evicted or corrupted simply misses, and consumers
+(:func:`repro.pcc.incremental.apply_patch`) never consult either —
+they recompute obligations from scratch.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.errors import LfError
+from repro.lf.binary import deserialize_lf, serialize_lf
+from repro.lf.syntax import LfTerm
+
+__all__ = [
+    "ProofStore",
+    "ProofStoreStats",
+    "frame_sections",
+    "subproof_digest",
+    "unframe_sections",
+]
+
+#: How many program manifests (ordered obligation-digest lists) to keep.
+_MANIFEST_CAPACITY = 256
+
+
+def frame_sections(table: bytes, stream: bytes) -> bytes:
+    """Length-frame the two :func:`serialize_lf` sections into one blob.
+
+    The framing is part of the digest's definition: hashing the bare
+    concatenation would let a (table, stream) boundary shift produce the
+    same digest for a different term.
+    """
+    return (len(table).to_bytes(4, "little") + table
+            + len(stream).to_bytes(4, "little") + stream)
+
+
+def unframe_sections(blob: bytes) -> tuple[bytes, bytes]:
+    """Split a framed blob back into (table, stream); raises LfError."""
+    if len(blob) < 4:
+        raise LfError("framed LF blob shorter than its table header")
+    table_len = int.from_bytes(blob[:4], "little")
+    if len(blob) < 8 + table_len:
+        raise LfError("framed LF blob truncated in its symbol table")
+    table = blob[4:4 + table_len]
+    stream_len = int.from_bytes(blob[4 + table_len:8 + table_len], "little")
+    stream = blob[8 + table_len:]
+    if len(stream) != stream_len:
+        raise LfError("framed LF blob stream length mismatch")
+    return table, stream
+
+
+def subproof_digest(term: LfTerm) -> str:
+    """SHA-256 of the canonical LF wire encoding of ``term``.
+
+    :func:`serialize_lf` is purely structural — binder hints never reach
+    the wire, DAG back-references are assigned in traversal order, and
+    the symbol table is ordered by first occurrence — so the digest is a
+    pure function of the term's structure, stable across processes and
+    ``PYTHONHASHSEED`` values (pinned by ``tests/pcc/test_determinism
+    .py``).
+    """
+    return hashlib.sha256(frame_sections(*serialize_lf(term))).hexdigest()
+
+
+@dataclass(frozen=True)
+class ProofStoreStats:
+    """Point-in-time counters of one :class:`ProofStore`.
+
+    ``puts`` counts :meth:`~ProofStore.put` calls; ``dedup_hits`` the
+    subset that found their term already stored (hash-consing at work).
+    ``hits + misses == gets``; ``verify_failures`` counts entries that
+    failed their read-time re-hash and were dropped (each also counts as
+    a miss).  ``bytes_stored`` is the live blob payload; ``bytes_shared``
+    is what duplicate puts *would* have added without content
+    addressing.
+    """
+
+    puts: int
+    dedup_hits: int
+    gets: int
+    hits: int
+    misses: int
+    verify_failures: int
+    evictions: int
+    entries: int
+    bytes_stored: int
+    bytes_shared: int
+    capacity: int
+
+
+class ProofStore:
+    """A bounded, thread-safe, content-addressed map of LF subproofs.
+
+    ``capacity`` bounds the number of stored blobs (LRU eviction, same
+    shape as the loader's verdict cache).  All methods are safe to call
+    concurrently; the hammering test models the loader's LRU suite.
+    """
+
+    def __init__(self, capacity: int = 1024) -> None:
+        if capacity < 1:
+            raise ValueError("proof store capacity must be at least 1")
+        self.capacity = capacity
+        self._blobs: OrderedDict[str, bytes] = OrderedDict()
+        self._bindings: dict[tuple[str, str], str] = {}
+        self._manifests: OrderedDict[tuple[str, str],
+                                     tuple[str, ...]] = OrderedDict()
+        self._lock = threading.Lock()
+        self._puts = 0
+        self._dedup_hits = 0
+        self._gets = 0
+        self._hits = 0
+        self._misses = 0
+        self._verify_failures = 0
+        self._evictions = 0
+        self._bytes_shared = 0
+
+    # -- blobs -----------------------------------------------------------
+
+    def put(self, term: LfTerm) -> str:
+        """Store ``term`` (hash-consed); returns its content digest."""
+        blob = frame_sections(*serialize_lf(term))
+        digest = hashlib.sha256(blob).hexdigest()
+        with self._lock:
+            self._puts += 1
+            if digest in self._blobs:
+                self._blobs.move_to_end(digest)
+                self._dedup_hits += 1
+                self._bytes_shared += len(blob)
+                return digest
+            self._blobs[digest] = blob
+            self._evict_over_capacity()
+        return digest
+
+    def get(self, digest: str) -> LfTerm | None:
+        """The stored term for ``digest``, or None.
+
+        The blob is re-hashed before deserialization: an entry that no
+        longer matches its key (bit rot, tampering) is dropped and
+        reported as a miss — the store fails closed rather than handing
+        back a subproof it cannot vouch for.  Deserialization itself is
+        the fully validating :func:`repro.lf.binary.deserialize_lf`.
+        """
+        with self._lock:
+            self._gets += 1
+            blob = self._blobs.get(digest)
+            if blob is None:
+                self._misses += 1
+                return None
+            if hashlib.sha256(blob).hexdigest() != digest:
+                del self._blobs[digest]
+                self._verify_failures += 1
+                self._misses += 1
+                return None
+            self._blobs.move_to_end(digest)
+        try:
+            term = deserialize_lf(*unframe_sections(blob))
+        except LfError:
+            with self._lock:
+                self._blobs.pop(digest, None)
+                self._verify_failures += 1
+                self._misses += 1
+            return None
+        with self._lock:
+            self._hits += 1
+        return term
+
+    def get_blob(self, digest: str) -> bytes | None:
+        """The verified raw framed blob for ``digest`` (for shipping in a
+        patch), or None; same fail-closed re-hash as :meth:`get`."""
+        with self._lock:
+            blob = self._blobs.get(digest)
+            if blob is None:
+                return None
+            if hashlib.sha256(blob).hexdigest() != digest:
+                del self._blobs[digest]
+                self._verify_failures += 1
+                return None
+            self._blobs.move_to_end(digest)
+            return blob
+
+    def __contains__(self, digest: str) -> bool:
+        with self._lock:
+            return digest in self._blobs
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._blobs)
+
+    def _evict_over_capacity(self) -> None:
+        # Caller holds the lock.
+        while len(self._blobs) > self.capacity:
+            evicted, __ = self._blobs.popitem(last=False)
+            self._evictions += 1
+            # Bindings to the evicted blob are now dangling; lookup()
+            # treats them as misses, so leaving them costs nothing, but
+            # pruning keeps the index bounded by the blob map.
+            stale = [key for key, value in self._bindings.items()
+                     if value == evicted]
+            for key in stale:
+                del self._bindings[key]
+
+    # -- obligation bindings ---------------------------------------------
+
+    def bind(self, fingerprint: str, obligation: str, digest: str) -> None:
+        """Record that ``digest`` proves ``obligation`` under the policy
+        with ``fingerprint``.  A binding is advisory (see module doc)."""
+        with self._lock:
+            self._bindings[(fingerprint, obligation)] = digest
+
+    def lookup(self, fingerprint: str, obligation: str) -> str | None:
+        """The bound subproof digest, or None.  Scoped by the full policy
+        fingerprint, so a policy change (even a renegotiated
+        precondition) can never resurrect a stale proof — the same
+        discipline as the loader's verdict cache."""
+        with self._lock:
+            digest = self._bindings.get((fingerprint, obligation))
+            if digest is None:
+                return None
+            if digest not in self._blobs:
+                # Evicted or corrupted-and-dropped: the binding is dead.
+                del self._bindings[(fingerprint, obligation)]
+                return None
+            return digest
+
+    # -- program manifests -------------------------------------------------
+
+    def record_manifest(self, fingerprint: str, program_key: str,
+                        part_digests: tuple[str, ...]) -> None:
+        """Remember the ordered effective-obligation digests of one
+        program under one policy (``program_key`` hashes the program's
+        code and invariant sections).  Purely a producer-side shortcut:
+        a warm upgrade chain re-harvests its own previous result without
+        rerunning the VC generator over the base.  Consumers never read
+        manifests, so a wrong one can waste time, never flip a verdict.
+        """
+        with self._lock:
+            self._manifests[(fingerprint, program_key)] = \
+                tuple(part_digests)
+            self._manifests.move_to_end((fingerprint, program_key))
+            while len(self._manifests) > _MANIFEST_CAPACITY:
+                self._manifests.popitem(last=False)
+
+    def manifest(self, fingerprint: str,
+                 program_key: str) -> tuple[str, ...] | None:
+        """The recorded obligation digests for a program, or None."""
+        with self._lock:
+            parts = self._manifests.get((fingerprint, program_key))
+            if parts is not None:
+                self._manifests.move_to_end((fingerprint, program_key))
+            return parts
+
+    # -- reporting --------------------------------------------------------
+
+    def stats(self) -> ProofStoreStats:
+        with self._lock:
+            return ProofStoreStats(
+                puts=self._puts,
+                dedup_hits=self._dedup_hits,
+                gets=self._gets,
+                hits=self._hits,
+                misses=self._misses,
+                verify_failures=self._verify_failures,
+                evictions=self._evictions,
+                entries=len(self._blobs),
+                bytes_stored=sum(len(blob)
+                                 for blob in self._blobs.values()),
+                bytes_shared=self._bytes_shared,
+                capacity=self.capacity,
+            )
+
+    # -- testing hooks ----------------------------------------------------
+
+    def _corrupt(self, digest: str, blob: bytes) -> None:
+        """Overwrite a stored blob *without* re-keying (tampering tests
+        only; there is deliberately no public API that can do this)."""
+        with self._lock:
+            if digest in self._blobs:
+                self._blobs[digest] = blob

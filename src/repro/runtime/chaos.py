@@ -554,6 +554,84 @@ def _scenario_upgrade_promotion(campaign: _Campaign,
             "budget": {"old": old_budget, "new": live.cycle_budget}}
 
 
+def _scenario_upgrade_patch_corruption(campaign: _Campaign,
+                                       checks: _Checks) -> dict:
+    """A corrupted proof patch arrives mid-upgrade.
+
+    Three invariants: a corrupted patch with no fallback is rejected
+    outright and leaves the live version untouched; a corrupted patch
+    *with* full container bytes falls back to full certification and the
+    upgrade still lands with bit-identical verdicts; and a clean patch
+    admits through the cheap path (so the fallback is not the only path
+    that ever works).
+    """
+    from repro.errors import PatchError
+    from repro.pcc.incremental import certify_incremental
+
+    runtime = campaign.runtime()
+    campaign.attach_all(runtime)
+    trace = campaign.trace
+    baseline = campaign.runtime()
+    campaign.attach_all(baseline)
+    base_records = _verdict_stream(baseline.dispatch(trace, collect=True))
+
+    spec = FILTERS[0]
+    benign_source = (spec.source.rstrip().rsplit("RET", 1)[0]
+                     + _BENIGN_SUFFIX)
+    base_blob = campaign.certified[spec.name]
+    result = certify_incremental(base_blob, benign_source, campaign.policy,
+                                 store=runtime.loader.proof_store)
+    wire = result.patch.to_bytes()
+    # Flip a byte inside the 32-byte base-digest field (offset 5..36):
+    # the patch no longer matches the serving container.
+    wrong_base = wire[:10] + bytes([wire[10] ^ 0x5A]) + wire[11:]
+    truncated = wire[:-1]
+
+    live = runtime.extension(spec.name)
+    promote_after = min(64, len(trace) // 4)
+    canary = CanaryConfig(sample_fraction=1.0, promote_after=promote_after,
+                          seed=campaign.config.seed)
+
+    try:
+        runtime.upgrade(spec.name, canary=canary, patch=wrong_base)
+        checks.add("patch-only corrupted upgrade rejected", False,
+                   "a tampered patch was admitted")
+    except (PatchError, ValidationError):
+        checks.add("patch-only corrupted upgrade rejected", True)
+    checks.equal("live version untouched by the rejected patch",
+                 live.version, 1)
+    checks.equal("no canary left in flight", live.canary, None)
+
+    # Corrupted patch + full container: the fallback path carries it.
+    runtime.upgrade(spec.name, campaign.benign_upgrade, canary,
+                    patch=truncated)
+    records = _verdict_stream(runtime.dispatch(trace, collect=True))
+    checks.equal("fallback upgrade promoted", live.version, 2)
+    checks.equal("verdicts bit-identical across the fallback swap",
+                 records, base_records)
+    stats = runtime.loader.stats()
+    checks.equal("both corrupted patches counted as rejects",
+                 stats.patch_rejects, 2)
+
+    # A clean patch admits through the cheap path on a fresh runtime.
+    fresh = campaign.runtime()
+    campaign.attach_all(fresh)
+    fresh.upgrade(spec.name, canary=canary, patch=wire)
+    fresh_records = _verdict_stream(fresh.dispatch(trace, collect=True))
+    checks.equal("clean patch promoted",
+                 fresh.extension(spec.name).version, 2)
+    checks.equal("clean-patch verdicts bit-identical", fresh_records,
+                 records)
+    fresh_stats = fresh.loader.stats()
+    checks.equal("clean patch counted as a patch hit",
+                 fresh_stats.patch_hits, 1)
+    return {"patch_bytes": len(wire),
+            "full_bytes": len(campaign.benign_upgrade),
+            "reused_parts": result.reused_parts,
+            "proved_parts": result.proved_parts,
+            "patch_rejects": stats.patch_rejects}
+
+
 #: Scenario registry, in execution order.
 SCENARIOS = {
     "admission-mutants": _scenario_admission_mutants,
@@ -565,6 +643,7 @@ SCENARIOS = {
     "pool-kill": _scenario_pool_kill,
     "upgrade-rollback": _scenario_upgrade_rollback,
     "upgrade-promotion": _scenario_upgrade_promotion,
+    "upgrade-patch-corruption": _scenario_upgrade_patch_corruption,
 }
 
 

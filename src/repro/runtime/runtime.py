@@ -48,7 +48,12 @@ from repro.alpha.batch import FramePlan, compile_batch
 from repro.alpha.encoding import decode_program
 from repro.alpha.engine import ExecutionEngine
 from repro.alpha.abstract import make_check_hooks
-from repro.errors import PccError, UnknownExtensionError, ValidationError
+from repro.errors import (
+    PatchError,
+    PccError,
+    UnknownExtensionError,
+    ValidationError,
+)
 from repro.filters.policy import (
     PACKET_BASE,
     SCRATCH_BASE,
@@ -58,6 +63,7 @@ from repro.filters.policy import (
 )
 from repro.pcc.container import PccBinary
 from repro.pcc.loader import ExtensionLoader
+from repro.proof.store import ProofStore
 from repro.runtime.config import RuntimeConfig
 from repro.runtime.extension import ExtensionState, RuntimeExtension
 from repro.runtime.shard import Shard
@@ -118,7 +124,8 @@ class PacketRuntime:
         self.policy = policy
         self.config = config or RuntimeConfig()
         self.loader = ExtensionLoader(policy, self.config.cache_capacity,
-                                      prescreen=self.config.prescreen)
+                                      prescreen=self.config.prescreen,
+                                      proof_store=ProofStore())
         self.shards = [Shard(index, self.config)
                        for index in range(self.config.shards)]
         self._extensions: dict[str, RuntimeExtension] = {}
@@ -301,10 +308,22 @@ class PacketRuntime:
 
     # -- versioned hot swap ----------------------------------------------
 
-    def upgrade(self, name: str, data: bytes | PccBinary,
-                canary: CanaryConfig | None = None) -> ShadowCanary:
-        """Admit ``data`` as the next version of ``name`` and start it
-        as a shadow canary (see :mod:`repro.runtime.versions`).
+    def upgrade(self, name: str, data: bytes | PccBinary | None = None,
+                canary: CanaryConfig | None = None, *,
+                patch=None) -> ShadowCanary:
+        """Admit the next version of ``name`` and start it as a shadow
+        canary (see :mod:`repro.runtime.versions`).
+
+        The candidate arrives either as full container bytes (``data``),
+        as an incremental :class:`~repro.pcc.incremental.ProofPatch`
+        against the serving version's exact bytes (``patch``), or both.
+        The patch path is tried first — it reassembles the container via
+        :meth:`~repro.pcc.loader.ExtensionLoader.load_patch`, so the full
+        validation pipeline still runs — and any *patch* problem (wrong
+        base, tampered subproof, stale fingerprint) falls back to full
+        certification of ``data`` when provided, or re-raises
+        :class:`~repro.errors.PatchError` when not.  A candidate that is
+        genuinely unsafe is rejected identically by both paths.
 
         The live version keeps serving — and stays authoritative — for
         every packet; the candidate runs on a sampled shadow of the
@@ -314,11 +333,26 @@ class PacketRuntime:
         not pass admission (under ``downgrade_unproven`` the candidate
         shadows on the checked tier, like any other unproven code).
         """
+        if data is None and patch is None:
+            raise ValueError("upgrade needs container bytes, a proof "
+                             "patch, or both")
         extension = self.extension(name)
         if not extension.active:
             raise ValueError(
                 f"extension {name!r} is {extension.state.value}; "
                 f"reinstate or detach it before upgrading")
+        if patch is not None:
+            try:
+                __, reassembled = self.loader.load_patch(
+                    patch, extension.blob)
+            except PatchError:
+                if data is None:
+                    raise
+                # Fall back to the full path: the patch was unusable
+                # (corrupted, wrong base, stale policy) but the full
+                # container can still earn admission on its own merits.
+            else:
+                data = reassembled
         blob = data.to_bytes() if isinstance(data, PccBinary) else bytes(data)
         digest = self.loader.cache_key(blob)[0]
         if digest == extension.digest:

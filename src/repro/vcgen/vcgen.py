@@ -43,7 +43,10 @@ from repro.alpha.isa import (
     validate_program,
 )
 from repro.errors import VcGenError
-from repro.logic.formulas import And, Formula, Implies, Or, Forall, eq, ge, lt, ne, rd, wr
+from repro.logic.formulas import (
+    And, Falsity, Formula, Implies, Or, Forall, Truth,
+    eq, ge, lt, ne, rd, wr,
+)
 from repro.logic.simplify import simplify_formula
 from repro.logic.subst import subst_formula
 from repro.logic.terms import App, Int, Term, Var, WORD_MOD, add64, sel, upd
@@ -225,18 +228,24 @@ def compute_vc(program: Program, postcondition: Formula,
     return computation.vc(pc)
 
 
-def safety_predicate(program: Program, precondition: Formula,
-                     postcondition: Formula,
-                     invariants: Mapping[int, Formula] | None = None,
-                     simplify: bool = True) -> Formula:
-    """The safety predicate ``SP(Pi, Pre, Post)`` of §2.2.
+def safety_obligations(program: Program, precondition: Formula,
+                       postcondition: Formula,
+                       invariants: Mapping[int, Formula] | None = None,
+                       simplify: bool = True) -> tuple[Formula, ...]:
+    """The per-cut-point proof obligations of §2.2/§4, in canonical order.
 
-    Without loops this is ``ALL regs. Pre => VC_0``.  With invariants it is
-    the conjunction of that entry obligation with one obligation
-    ``ALL regs. Inv_c => VC(fragment at c)`` per cut point, all closed over
-    the machine-state variables.  Determinism matters: producer and
-    consumer must compute the identical formula, so the obligations are
-    ordered by pc and the simplifier is the shared deterministic one.
+    Index 0 is always the entry obligation ``ALL regs. Pre => VC_0``;
+    the rest are ``ALL regs. Inv_c => VC(fragment at c)``, one per
+    invariant cut point in increasing pc order.  Each obligation is
+    closed over the machine-state variables and (with ``simplify``)
+    individually simplified — a cut point's obligation depends only on
+    its own acyclic fragment, which is what makes block-level proof
+    reuse possible: editing one fragment leaves every other obligation
+    bit-identical.
+
+    :func:`safety_predicate` is exactly the conjunction of these parts
+    (see :func:`conjoin_obligations`), so a proof can be assembled — or
+    split — obligation by obligation.
     """
     validate_program(program)
     invariants = dict(invariants or {})
@@ -250,9 +259,52 @@ def safety_predicate(program: Program, precondition: Formula,
         body = computation.vc(cut_pc)
         obligations.append(_close(Implies(invariants[cut_pc], body)))
 
-    predicate: Formula = obligations[0]
-    for obligation in obligations[1:]:
-        predicate = And(predicate, obligation)
     if simplify:
-        predicate = simplify_formula(predicate)
+        # One shared memo pair across the parts: the fragments share VC
+        # subformulas, and the results must match what a whole-predicate
+        # simplification would produce node for node.
+        memo: dict = {}
+        term_memo: dict = {}
+        obligations = [simplify_formula(obligation, memo, term_memo)
+                       for obligation in obligations]
+    return tuple(obligations)
+
+
+def conjoin_obligations(obligations) -> Formula:
+    """Left-fold the obligations into one predicate, applying the same
+    ``And`` unit/absorption laws the simplifier uses — so the result of
+    conjoining simplified parts is structurally identical to simplifying
+    the conjunction of raw parts (the simplifier rewrites ``And``
+    bottom-up, which distributes over exactly this fold)."""
+    parts = list(obligations)
+    if not parts:
+        raise VcGenError("no proof obligations to conjoin")
+    predicate: Formula = parts[0]
+    for part in parts[1:]:
+        if isinstance(predicate, Falsity) or isinstance(part, Falsity):
+            predicate = Falsity()
+        elif isinstance(predicate, Truth):
+            predicate = part
+        elif isinstance(part, Truth):
+            pass
+        else:
+            predicate = And(predicate, part)
     return predicate
+
+
+def safety_predicate(program: Program, precondition: Formula,
+                     postcondition: Formula,
+                     invariants: Mapping[int, Formula] | None = None,
+                     simplify: bool = True) -> Formula:
+    """The safety predicate ``SP(Pi, Pre, Post)`` of §2.2.
+
+    Without loops this is ``ALL regs. Pre => VC_0``.  With invariants it is
+    the conjunction of that entry obligation with one obligation
+    ``ALL regs. Inv_c => VC(fragment at c)`` per cut point, all closed over
+    the machine-state variables.  Determinism matters: producer and
+    consumer must compute the identical formula, so the obligations are
+    ordered by pc and the simplifier is the shared deterministic one.
+    """
+    return conjoin_obligations(
+        safety_obligations(program, precondition, postcondition,
+                           invariants, simplify))

@@ -13,11 +13,14 @@ import subprocess
 import sys
 from pathlib import Path
 
+from repro.filters.checksum import checksum_invariant
 from repro.filters.policy import packet_filter_policy
+from repro.lf.encode import encode_formula
 from repro.logic.formulas import conj, ge
 from repro.logic.terms import Var
 from repro.pcc.loader import ExtensionLoader
 from repro.pcc.negotiate import PolicyProposal, propose_policy
+from repro.proof.store import subproof_digest
 
 #: propose_policy(packet_filter_policy(), conj([ge(Var('r2'), 64)])) —
 #: i.e. "the frame is at least the contract minimum", the implication
@@ -30,6 +33,21 @@ PINNED_PROPOSAL_DIGEST = \
 #: independently of the LF encoder.
 PINNED_RAW_DIGEST = \
     "e822be4e0b2d34761e0503ab38ae16c94ec3d4865665a1f92c41908ec860526e"
+
+#: subproof_digest(encode_formula(checksum_invariant(), {}, 0)) — the
+#: proof store's content address for the checksum loop invariant.  The
+#: store shares subproofs *across processes* (a producer harvests, a
+#: later producer reuses), so this key must be a pure function of term
+#: structure: canonical LF wire encoding, length-framed, sha256.
+PINNED_SUBPROOF_DIGEST = \
+    "bec0573c6008d11f19c6a99488c569b9b49a66425b85da2114e87b4627d7cb5b"
+
+SUBPROOF_SNIPPET = """
+from repro.filters.checksum import checksum_invariant
+from repro.lf.encode import encode_formula
+from repro.proof.store import subproof_digest
+print(subproof_digest(encode_formula(checksum_invariant(), {}, 0)))
+"""
 
 DIGEST_SNIPPET = """
 from repro.filters.policy import packet_filter_policy
@@ -76,6 +94,28 @@ def test_digest_is_hash_seed_independent():
         [sys.executable, "-c", DIGEST_SNIPPET], env=env,
         capture_output=True, text=True, check=True)
     assert output.stdout.strip() == PINNED_PROPOSAL_DIGEST
+
+
+def test_subproof_digest_is_pinned():
+    assert subproof_digest(
+        encode_formula(checksum_invariant(), {}, 0)) == \
+        PINNED_SUBPROOF_DIGEST
+
+
+def test_subproof_digest_is_hash_seed_independent():
+    """The proof store's content address rerun under a different
+    PYTHONHASHSEED must reproduce the pinned digest bit-for-bit — a
+    seed-dependent key would silently break cross-process subproof
+    sharing (every lookup a miss) and, worse, patch entry resolution."""
+    env = dict(os.environ)
+    current = env.get("PYTHONHASHSEED", "random")
+    env["PYTHONHASHSEED"] = "1" if current != "1" else "2"
+    src = Path(__file__).resolve().parents[2] / "src"
+    env["PYTHONPATH"] = str(src)
+    output = subprocess.run(
+        [sys.executable, "-c", SUBPROOF_SNIPPET], env=env,
+        capture_output=True, text=True, check=True)
+    assert output.stdout.strip() == PINNED_SUBPROOF_DIGEST
 
 
 def test_loader_stats_invariant_under_submission_order(certified_filters):

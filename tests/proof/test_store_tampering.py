@@ -1,0 +1,228 @@
+"""Adversarial suite for the content-addressed proof store.
+
+The store is untrusted plumbing (see ``repro.proof.store``): a corrupted,
+substituted, or stale entry may never surface as a valid subproof.  Every
+tampering vector here must *fail closed* — a miss, never a wrong term —
+and the counter algebra (``hits + misses == gets``, verify failures
+counted and dropped) must stay consistent even under concurrent hammering
+with a corrupter thread in the mix.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.filters.checksum import checksum_invariant, checksum_policy
+from repro.filters.policy import packet_filter_policy
+from repro.lf.encode import encode_formula
+from repro.lf.syntax import LfConst, lf_app
+from repro.pcc.loader import policy_fingerprint
+from repro.proof.store import (
+    ProofStore,
+    frame_sections,
+    subproof_digest,
+    unframe_sections,
+)
+
+
+def _term(i: int):
+    """A family of small, structurally distinct LF terms."""
+    term = LfConst("truei")
+    for _ in range(i % 4):
+        term = lf_app(LfConst("andi"), LfConst("tt"), LfConst("tt"),
+                      term, term)
+    return lf_app(LfConst(f"leaf{i}"), term)
+
+
+class TestBitflips:
+    def test_flipped_blob_is_dropped_not_returned(self):
+        store = ProofStore()
+        digest = store.put(_term(1))
+        blob = store.get_blob(digest)
+        store._corrupt(digest, blob[:10] + bytes([blob[10] ^ 0x40])
+                       + blob[11:])
+        assert store.get(digest) is None
+        stats = store.stats()
+        assert stats.verify_failures == 1
+        assert stats.misses == 1
+        # The poisoned entry is gone, not lingering for the next reader.
+        assert digest not in store
+
+    def test_get_blob_rehashes_too(self):
+        store = ProofStore()
+        digest = store.put(_term(2))
+        store._corrupt(digest, b"\x00" * 16)
+        assert store.get_blob(digest) is None
+        assert store.stats().verify_failures == 1
+        assert digest not in store
+
+    def test_reput_heals_a_dropped_entry(self):
+        store = ProofStore()
+        term = _term(3)
+        digest = store.put(term)
+        store._corrupt(digest, b"junk")
+        assert store.get(digest) is None
+        assert store.put(term) == digest
+        recovered = store.get(digest)
+        assert recovered is not None
+        assert subproof_digest(recovered) == digest
+
+    def test_correctly_keyed_garbage_fails_deserialization(self):
+        """A blob whose hash *matches* its key but is not a valid LF
+        encoding (the re-key attack the hash check cannot catch) must
+        still come back as a miss, via the validating deserializer."""
+        store = ProofStore()
+        garbage = frame_sections(b"", b"\xff\xff\xff\xff")
+        digest = hashlib.sha256(garbage).hexdigest()
+        with store._lock:
+            store._blobs[digest] = garbage
+        assert store.get(digest) is None
+        stats = store.stats()
+        assert stats.verify_failures == 1
+        assert digest not in store
+
+
+class TestBindings:
+    def test_bindings_are_scoped_by_policy_fingerprint(self):
+        """A proof harvested under one policy may never be offered for
+        the same obligation under another: a policy change (even one
+        that only renegotiates the precondition) invalidates every
+        binding, same discipline as the loader's verdict cache."""
+        store = ProofStore()
+        obligation = subproof_digest(
+            encode_formula(checksum_invariant(), {}, 0))
+        digest = store.put(_term(4))
+        checksum_fp = policy_fingerprint(checksum_policy())
+        filter_fp = policy_fingerprint(packet_filter_policy())
+        assert checksum_fp != filter_fp
+        store.bind(checksum_fp, obligation, digest)
+        assert store.lookup(checksum_fp, obligation) == digest
+        assert store.lookup(filter_fp, obligation) is None
+
+    def test_binding_to_corrupted_blob_dies_with_it(self):
+        store = ProofStore()
+        digest = store.put(_term(5))
+        store.bind("fp", "obligation", digest)
+        store._corrupt(digest, b"rot")
+        assert store.get(digest) is None  # drops the blob
+        assert store.lookup("fp", "obligation") is None
+        # The dangling binding was pruned, not just skipped.
+        with store._lock:
+            assert ("fp", "obligation") not in store._bindings
+
+    def test_rebinding_cannot_smuggle_a_foreign_subproof(self):
+        """Rebinding an obligation to a different (valid) subproof is
+        the store-level half of the substitution attack.  The store
+        honestly returns what was bound — content addressing guarantees
+        the *term* matches the digest, and the differential suite proves
+        full revalidation rejects the reassembled proof.  Here: the term
+        handed back always matches its own digest, never the binding."""
+        store = ProofStore()
+        honest = store.put(_term(6))
+        foreign = store.put(_term(7))
+        store.bind("fp", "obligation", honest)
+        store.bind("fp", "obligation", foreign)  # attacker rebinds
+        resolved = store.lookup("fp", "obligation")
+        assert resolved == foreign
+        term = store.get(resolved)
+        assert subproof_digest(term) == foreign  # content-true, always
+
+
+class TestEviction:
+    def test_lru_eviction_prunes_bindings(self):
+        store = ProofStore(capacity=2)
+        first = store.put(_term(8))
+        store.bind("fp", "first", first)
+        second = store.put(_term(9))
+        third = store.put(_term(10))
+        assert len(store) == 2
+        assert first not in store
+        assert second in store and third in store
+        stats = store.stats()
+        assert stats.evictions == 1
+        assert store.lookup("fp", "first") is None
+
+    def test_get_refreshes_recency(self):
+        store = ProofStore(capacity=2)
+        first = store.put(_term(11))
+        store.put(_term(12))
+        assert store.get(first) is not None  # touch: first is now MRU
+        store.put(_term(13))
+        assert first in store
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ProofStore(capacity=0)
+
+
+class TestCounters:
+    def test_counter_algebra(self):
+        store = ProofStore()
+        term = _term(14)
+        digest = store.put(term)
+        blob_len = len(frame_sections(*unframe_sections(
+            store.get_blob(digest))))
+        assert store.put(term) == digest  # dedup
+        store.get(digest)
+        store.get("0" * 64)
+        store._corrupt(digest, b"x")
+        store.get(digest)
+        stats = store.stats()
+        assert stats.puts == 2
+        assert stats.dedup_hits == 1
+        assert stats.bytes_shared == blob_len
+        assert stats.gets == 3
+        assert stats.hits + stats.misses == stats.gets
+        assert stats.hits == 1
+        assert stats.misses == 2
+        assert stats.verify_failures == 1
+        assert stats.entries == 0
+        assert stats.bytes_stored == 0
+
+
+class TestConcurrentHammering:
+    def test_put_get_hammer_with_corrupter(self):
+        """Eight writers/readers race over a store smaller than the
+        working set while a corrupter thread flips random entries.
+        Safety property: a get returns None or a term whose canonical
+        digest equals the requested key — never a mismatched term — and
+        the counter algebra survives."""
+        store = ProofStore(capacity=16)
+        terms = [_term(i) for i in range(48)]
+        digests = [subproof_digest(t) for t in terms]
+        mismatches = []
+
+        def worker(lane: int) -> None:
+            for round_index in range(60):
+                index = (lane * 7 + round_index) % len(terms)
+                if round_index % 3 == 0:
+                    store.put(terms[index])
+                    store.bind("fp", f"ob{index}", digests[index])
+                else:
+                    got = store.get(digests[index])
+                    if got is not None and \
+                            subproof_digest(got) != digests[index]:
+                        mismatches.append(index)
+                    bound = store.lookup("fp", f"ob{index}")
+                    if bound is not None and bound != digests[index]:
+                        mismatches.append(index)
+
+        def corrupter() -> None:
+            for round_index in range(90):
+                target = digests[round_index % len(digests)]
+                store._corrupt(target, b"\xde\xad" * (round_index % 9 + 1))
+
+        with ThreadPoolExecutor(max_workers=9) as pool:
+            futures = [pool.submit(worker, lane) for lane in range(8)]
+            futures.append(pool.submit(corrupter))
+            for future in futures:
+                future.result()
+
+        assert mismatches == []
+        stats = store.stats()
+        assert stats.hits + stats.misses == stats.gets
+        assert stats.entries <= store.capacity
+        assert stats.entries == len(store)

@@ -9,8 +9,8 @@ the first place.
 
 import pytest
 
-from repro.errors import UnknownExtensionError, ValidationError
-from repro.pcc import certify
+from repro.errors import PatchError, UnknownExtensionError, ValidationError
+from repro.pcc import certify, certify_incremental
 from repro.runtime import (
     CanaryConfig,
     PacketRuntime,
@@ -270,6 +270,88 @@ class TestShadowIsolation:
             CanaryConfig(sample_fraction=0.0)
         with pytest.raises(ValueError, match="promote_after"):
             CanaryConfig(promote_after=0)
+
+
+class TestIncrementalUpgrade:
+    """The cheap upgrade path: a proof patch against the serving bytes
+    is applied, fully revalidated, and canaried exactly like a full
+    container — with fallback to full certification on any patch
+    problem and bit-identical restoration on rollback."""
+
+    def test_patch_canary_promotes_with_identical_verdicts(
+            self, filter_policy, filter_blobs, small_trace):
+        baseline = _runtime(filter_policy)
+        baseline.attach("filter1", filter_blobs["filter1"])
+        expected = _records(baseline.dispatch(small_trace, collect=True))
+
+        runtime = _runtime(filter_policy)
+        runtime.attach("filter1", filter_blobs["filter1"])
+        result = certify_incremental(
+            filter_blobs["filter1"], BENIGN_VARIANT, filter_policy,
+            store=runtime.loader.proof_store)
+        # The wire patch is smaller than the container it reconstructs.
+        assert result.patch_bytes < len(result.binary.to_bytes())
+        shadow = runtime.upgrade(
+            "filter1", patch=result.patch,
+            canary=CanaryConfig(sample_fraction=1.0, promote_after=100))
+        got = _records(runtime.dispatch(small_trace, collect=True))
+
+        assert shadow.state is VersionState.PROMOTED
+        assert runtime.extension("filter1").version == 2
+        assert got == expected
+        stats = runtime.loader.stats()
+        assert stats.patch_loads == 1
+        assert stats.patch_hits == 1
+        assert stats.patch_rejects == 0
+        assert stats.patch_bytes_saved > 0
+
+    def test_bad_patch_falls_back_to_full_container(
+            self, filter_policy, filter_blobs, benign_blob):
+        runtime = _runtime(filter_policy)
+        runtime.attach("filter1", filter_blobs["filter1"])
+        # A patch built against the candidate's own bytes, not the
+        # serving version: its base digest cannot match the live blob.
+        stale = certify_incremental(benign_blob, BENIGN_VARIANT,
+                                    filter_policy)
+        runtime.upgrade("filter1", benign_blob, patch=stale.patch)
+        assert runtime.loader.stats().patch_rejects == 1
+        assert runtime.loader.stats().patch_hits == 0
+        record = runtime.promote("filter1")
+        assert record.state == "promoted"
+        assert runtime.extension("filter1").version == 2
+
+    def test_bad_patch_without_fallback_raises(
+            self, filter_policy, filter_blobs, benign_blob):
+        runtime = _runtime(filter_policy)
+        runtime.attach("filter1", filter_blobs["filter1"])
+        stale = certify_incremental(benign_blob, BENIGN_VARIANT,
+                                    filter_policy)
+        with pytest.raises(PatchError):
+            runtime.upgrade("filter1", patch=stale.patch)
+        live = runtime.extension("filter1")
+        assert live.version == 1
+        assert live.canary is None
+        assert runtime.loader.stats().patch_rejects == 1
+
+    def test_patch_rollback_restores_prior_proof_bit_identically(
+            self, filter_policy, filter_blobs, small_trace):
+        runtime = _runtime(filter_policy)
+        runtime.attach("filter1", filter_blobs["filter1"])
+        result = certify_incremental(
+            filter_blobs["filter1"], DIVERGENT_VARIANT, filter_policy,
+            store=runtime.loader.proof_store)
+        shadow = runtime.upgrade(
+            "filter1", patch=result.patch,
+            canary=CanaryConfig(sample_fraction=1.0,
+                                promote_after=10 ** 6))
+        runtime.dispatch(small_trace[:50])
+
+        assert shadow.state is VersionState.ROLLED_BACK
+        live = runtime.extension("filter1")
+        assert live.version == 1
+        # Rollback keeps the prior container — code *and* proof — byte
+        # for byte: the canary never replaced anything.
+        assert live.blob == filter_blobs["filter1"]
 
 
 class TestTelemetry:
