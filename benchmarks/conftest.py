@@ -21,9 +21,16 @@ import pytest
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
+from repro.filters.kv import kv_packet_policy  # noqa: E402
 from repro.filters.policy import packet_filter_policy  # noqa: E402
 from repro.filters.programs import FILTERS  # noqa: E402
-from repro.filters.trace import TraceConfig, generate_trace  # noqa: E402
+from repro.filters.trace import (  # noqa: E402
+    KvTraceConfig,
+    TraceConfig,
+    generate_adversarial_trace,
+    generate_kv_trace,
+    generate_trace,
+)
 from repro.pcc import certify  # noqa: E402
 
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
@@ -64,6 +71,24 @@ def loader_workload():
         "distinct_programs": min(16, max(4, packets // 1000)),
         "batch_copies": min(64, max(4, packets // 500)),
     }
+
+
+@pytest.fixture(scope="session")
+def kv_trace():
+    """The Zipf key-popularity trace for the KV workload benchmark."""
+    return generate_kv_trace(KvTraceConfig(packets=bench_packets()))
+
+
+@pytest.fixture(scope="session")
+def adversarial_trace():
+    """The hostile mix for the KV post-state differential (a tenth of
+    the main trace is plenty: it is a correctness gate, not a timing)."""
+    return generate_adversarial_trace(max(1000, bench_packets() // 10))
+
+
+@pytest.fixture(scope="session")
+def kv_policy():
+    return kv_packet_policy()
 
 
 @pytest.fixture(scope="session")

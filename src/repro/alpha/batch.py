@@ -88,7 +88,7 @@ from repro.alpha.isa import (
 from repro.alpha.machine import WORD_MASK, _branch_taken, _operate, _sext16
 from repro.errors import BudgetExceeded, MachineError
 
-__all__ = ["BatchRunner", "FramePlan", "compile_batch"]
+__all__ = ["BatchRunner", "FramePlan", "batch_capability", "compile_batch"]
 
 _M = str(WORD_MASK)
 _S63 = 1 << 63
@@ -163,18 +163,104 @@ class BatchRunner:
         return self._budgeted(frames, start, cycle_budget)
 
 
+def batch_capability(program: Program,
+                     max_steps: int = 1_000_000) -> str | None:
+    """Why ``program`` cannot take the compiled batch path, or ``None``.
+
+    The explicit admission-time capability probe: store-bearing and
+    looping programs (the write-capable KV family) are *expected* here,
+    and must route to the generic engine cleanly — this function never
+    raises, and :func:`compile_batch` consults it first so a
+    non-batchable program can never blow up mid-admission.
+    """
+    size = len(program)
+    for pc, instruction in enumerate(program):
+        if isinstance(instruction, Stq):
+            return (f"store at pc={pc}: the driver folds scratch reads "
+                    f"to zero, so stores take the generic engine")
+        if not isinstance(instruction, (Operate, Ldq, Lda, Ldah,
+                                        Branch, Br, Ret)):
+            return (f"unsupported {type(instruction).__name__} "
+                    f"at pc={pc}")  # pragma: no cover - closed class
+    # Same block graph as the compiler, unit costs: detect cycles and
+    # step-limit-reachable worst-case paths without emitting anything.
+    leaders = {0} if size else set()
+    for pc, instruction in enumerate(program):
+        if isinstance(instruction, Branch):
+            target = pc + 1 + instruction.offset
+            if 0 <= target < size:
+                leaders.add(target)
+            if pc + 1 < size:
+                leaders.add(pc + 1)
+        elif isinstance(instruction, Br):
+            target = pc + 1 + instruction.offset
+            if 0 <= target < size:
+                leaders.add(target)
+    block_len: dict[int, int] = {}
+    for leader in leaders:
+        pc = leader
+        while True:
+            instruction = program[pc]
+            if isinstance(instruction, (Branch, Br, Ret)):
+                pc += 1
+                break
+            pc += 1
+            if pc >= size or pc in leaders:
+                break
+        block_len[leader] = pc - leader
+
+    def successors(leader: int) -> list[int]:
+        last_pc = leader + block_len[leader] - 1
+        last = program[last_pc]
+        if isinstance(last, Ret):
+            return []
+        if isinstance(last, Br):
+            return [last_pc + 1 + last.offset]
+        if isinstance(last, Branch):
+            return [last_pc + 1 + last.offset, last_pc + 1]
+        return [leader + block_len[leader]]
+
+    WHITE, GREY, BLACK = 0, 1, 2
+    color: dict[int, int] = {}
+    steps_from: dict[int, int] = {}
+
+    def visit(leader: int) -> str | None:
+        color[leader] = GREY
+        best = 0
+        for succ in successors(leader):
+            if not 0 <= succ < size:
+                continue
+            state = color.get(succ, WHITE)
+            if state == GREY:
+                return (f"loop through pc={succ}: the inlined tree "
+                        f"would be infinite")
+            if state == WHITE:
+                reason = visit(succ)
+                if reason is not None:
+                    return reason
+            best = max(best, steps_from.get(succ, 0))
+        color[leader] = BLACK
+        steps_from[leader] = block_len[leader] + best
+        return None
+
+    if size:
+        reason = visit(0)
+        if reason is not None:
+            return reason
+        if steps_from[0] >= max_steps:
+            return (f"worst-case path of {steps_from[0]} steps reaches "
+                    f"the {max_steps}-step limit")
+    return None
+
+
 def compile_batch(program: Program, cost_model, plan: FramePlan,
                   max_steps: int = 1_000_000) -> BatchRunner | None:
     """Compile ``program`` into a :class:`BatchRunner`, or ``None`` when
     the program falls outside the fast path's preconditions (see the
     module docstring) and the caller should use the generic engine."""
+    if batch_capability(program, max_steps) is not None:
+        return None
     size = len(program)
-    for instruction in program:
-        if isinstance(instruction, Stq):
-            return None  # stores would invalidate the scratch==0 folding
-        if not isinstance(instruction, (Operate, Ldq, Lda, Ldah,
-                                        Branch, Br, Ret)):
-            return None  # pragma: no cover - Instruction is closed
     costs = [cost_model.cycles(ins) if cost_model else 1 for ins in program]
 
     # Block structure, exactly as the engine's superinstruction layer

@@ -231,6 +231,15 @@ def address_interval(state: State, instruction: Ldq | Stq) -> Interval:
 def transfer(state: State, instruction: Instruction) -> State:
     """Abstractly execute one non-control instruction."""
     if isinstance(instruction, Operate):
+        # The zero idiom SUBQ/XOR r, r, r is exactly 0 no matter what
+        # interval r carries — the interval product of a register with
+        # itself loses the correlation, so fold it here.  This is what
+        # keeps mid-program re-zeroed loop counters (the KV family's
+        # second table scan) constant and their loops WCET-bounded.
+        if (instruction.name in ("SUBQ", "XOR")
+                and not isinstance(instruction.rb, Lit)
+                and instruction.ra.index == instruction.rb.index):
+            return _assign(state, instruction.rc.index, const(0))
         value = operate_interval(instruction.name,
                                  state[instruction.ra.index],
                                  _rb_interval(state, instruction.rb))
@@ -374,6 +383,27 @@ def checksum_context(max_length: int = 1 << 16,
     )
 
 
+def kv_context(min_frame: int = MIN_FRAME,
+               max_frame: int = MAX_FRAME,
+               packet_base: int = PACKET_BASE,
+               state_base: int | None = None) -> AnalysisContext:
+    """The write-capable KV-family invocation: r1 = writable packet,
+    r2 = length in ``[min_frame, max_frame]``, r3 = the persistent
+    160-byte state area (readable and writable)."""
+    from repro.filters.kv import KV_STATE_BASE, STATE_SIZE
+    base = KV_STATE_BASE if state_base is None else state_base
+    packet = (packet_base, _pad8(max_frame))
+    state = (base, STATE_SIZE)
+    return AnalysisContext(
+        name="kv-packet",
+        entry={1: const(packet_base),
+               2: Interval(min_frame, max_frame),
+               3: const(base)},
+        readable=(packet, state),
+        writable=(packet, state),
+    )
+
+
 def context_for_policy(policy: SafetyPolicy) -> AnalysisContext:
     """The canonical context for a known policy; policies the analysis
     has no region model for get a permissive context (entry registers
@@ -382,6 +412,8 @@ def context_for_policy(policy: SafetyPolicy) -> AnalysisContext:
         return packet_filter_context()
     if policy.name == "checksum-buffer":
         return checksum_context()
+    if policy.name == "kv-packet":
+        return kv_context()
     return AnalysisContext(name=policy.name,
                            entry={index: TOP for index in range(NUM_REGS)})
 

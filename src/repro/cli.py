@@ -32,8 +32,11 @@ Subcommands mirror the paper's workflow:
   filters and run it (plus the baselines) over a synthetic trace.
 
 Policies are selected with ``--policy`` (``resource-access``,
-``packet-filter``, ``sfi-segment`` or ``checksum-buffer``); these are the
-consumer-published contracts from the paper.
+``packet-filter``, ``sfi-segment``, ``checksum-buffer`` or
+``kv-packet``); these are the consumer-published contracts from the
+paper, plus the write-capable KV/NAT/LB contract.  ``pcc serve
+--policy kv-packet --builtin-filters`` serves the store-bearing family
+over the Zipf key-popularity trace with persistent per-shard state.
 """
 
 from __future__ import annotations
@@ -49,6 +52,7 @@ from repro.vcgen.policy import SafetyPolicy
 def _load_policy(name: str) -> SafetyPolicy:
     from repro.baselines.sfi.policy import sfi_policy
     from repro.filters.checksum import checksum_policy
+    from repro.filters.kv import kv_packet_policy
     from repro.filters.policy import packet_filter_policy
     from repro.vcgen.policy import resource_access_policy
 
@@ -57,6 +61,7 @@ def _load_policy(name: str) -> SafetyPolicy:
         "packet-filter": packet_filter_policy,
         "sfi-segment": sfi_policy,
         "checksum-buffer": checksum_policy,
+        "kv-packet": kv_packet_policy,
     }
     if name not in policies:
         raise SystemExit(f"unknown policy {name!r}; choose from "
@@ -141,7 +146,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.runtime import PacketRuntime, RuntimeConfig
 
     policy = _load_policy(args.policy)
-    config = RuntimeConfig(
+    kv_mode = args.policy == "kv-packet"
+    config_kwargs = dict(
         shards=args.shards,
         backend=args.backend,
         batch_size=args.batch_size,
@@ -151,6 +157,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         downgrade_unproven=args.downgrade,
         enforce_contract=not args.no_contract,
     )
+    if kv_mode:
+        # The write-capable family needs the KV invocation contract:
+        # writable packet, persistent per-shard state area.
+        from repro.filters.kv import kv_registers, reusable_kv_memory
+        config_kwargs.update(memory_factory=reusable_kv_memory,
+                             registers_fn=kv_registers)
+    config = RuntimeConfig(**config_kwargs)
     runtime = PacketRuntime(policy, config)
 
     submissions: list[tuple[str, bytes]] = [
@@ -158,11 +171,19 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         for name in args.binaries
     ]
     if args.builtin_filters:
-        from repro.filters.programs import FILTERS
         from repro.pcc import certify
-        for spec in FILTERS:
-            submissions.append(
-                (spec.name, certify(spec.source, policy).binary.to_bytes()))
+        if kv_mode:
+            from repro.filters.kv import KV_PROGRAMS
+            for spec in KV_PROGRAMS:
+                submissions.append((spec.name, certify(
+                    spec.source, policy,
+                    invariants=spec.invariants()).binary.to_bytes()))
+        else:
+            from repro.filters.programs import FILTERS
+            for spec in FILTERS:
+                submissions.append(
+                    (spec.name,
+                     certify(spec.source, policy).binary.to_bytes()))
     if not submissions:
         raise SystemExit("nothing to serve: pass PCC binaries or "
                          "--builtin-filters")
@@ -185,7 +206,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if not runtime.extensions:
         raise SystemExit("no extension was admitted")
 
-    trace = generate_trace(TraceConfig(packets=args.packets, seed=args.seed))
+    if kv_mode:
+        from repro.filters.trace import KvTraceConfig, generate_kv_trace
+        trace = generate_kv_trace(
+            KvTraceConfig(packets=args.packets, seed=args.seed))
+    else:
+        trace = generate_trace(
+            TraceConfig(packets=args.packets, seed=args.seed))
     if args.inject_faults:
         inject_faults(trace, fraction=args.inject_faults)
     report = runtime.serve(replay_trace(trace, args.repeat))

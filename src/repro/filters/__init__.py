@@ -13,7 +13,11 @@
   implementations used to cross-check every filter implementation
   (PCC, BPF, SFI, M3) on every packet;
 * :mod:`repro.filters.checksum` — the §4 IP-header checksum experiment:
-  a looping routine certified with an explicit loop invariant.
+  a looping routine certified with an explicit loop invariant;
+* :mod:`repro.filters.kv` — the write-capable family (KV table, NAT
+  rewriter, load balancer): store-bearing programs certified under a
+  §2-style read/write policy, with loop invariants per table scan and
+  pure-Python oracles for verdicts *and* post-state.
 """
 
 from repro.filters.packets import (
@@ -27,7 +31,20 @@ from repro.filters.packets import (
     make_tcp_packet,
     make_udp_packet,
 )
-from repro.filters.trace import TraceConfig, generate_trace
+from repro.filters.trace import (
+    KvTraceConfig,
+    TraceConfig,
+    generate_adversarial_trace,
+    generate_kv_trace,
+    generate_trace,
+)
+from repro.filters.kv import (
+    KV_PROGRAMS,
+    KvSpec,
+    kv_packet_policy,
+    kv_registers,
+    reusable_kv_memory,
+)
 from repro.filters.policy import (
     PACKET_BASE,
     SCRATCH_BASE,
@@ -50,7 +67,15 @@ __all__ = [
     "make_tcp_packet",
     "make_udp_packet",
     "TraceConfig",
+    "KvTraceConfig",
     "generate_trace",
+    "generate_kv_trace",
+    "generate_adversarial_trace",
+    "KV_PROGRAMS",
+    "KvSpec",
+    "kv_packet_policy",
+    "kv_registers",
+    "reusable_kv_memory",
     "PACKET_BASE",
     "SCRATCH_BASE",
     "SCRATCH_SIZE",

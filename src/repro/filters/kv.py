@@ -1,0 +1,603 @@
+r"""The store-bearing extension family: KV table, NAT, load balancer.
+
+The paper's four packet filters never execute an STQ, so the ``wr``
+half of the §2 resource-access discipline — and the loop-invariant
+machinery that makes bounded table scans certifiable — is barely
+exercised end to end.  This module adds a second, *write-capable*
+family of kernel extensions over the same invocation convention:
+
+* ``kv-insert`` — bounded-table key-value insert/refresh: the source
+  IP is the key, the slot scan is a certified loop, a hit or a free
+  slot gets the key with a fresh TTL;
+* ``kv-evict`` — the TTL sweep: every occupied slot ages by one tick,
+  expired slots are cleared; the verdict counts evictions;
+* ``nat-rewrite`` — a NAT address rewriter: flows from network A are
+  recorded in the table and their source IP is rewritten *in the
+  packet* to the NAT address, plus a translation counter;
+* ``lb-balance`` — a load balancer: two certified scans (min, then
+  first-match) pick the least-loaded of four backend counters, bump
+  it, and rewrite the destination host octet in the packet.
+
+All four mutate memory under :func:`kv_packet_policy`, a §2-style
+read/write policy: the packet (``r1``, length ``r2``) is readable *and
+writable*, and a 160-byte state area (``r3``) — 16 table slots, a
+reserved cursor word, and a stats word — is readable and writable.
+Unlike the BPF scratch, the state area is **persistent across
+invocations** (see :func:`reusable_kv_memory`): that is what makes the
+table a table.
+
+Each program carries one loop invariant per table-scan loop
+(:func:`kv_invariant`), exactly the §4 discipline: the invariant names
+the scan offset's word-identity, 8-byte alignment, and strict bound,
+and re-asserts the policy's readable/writable regions so the acyclic
+fragments downstream of the cut point can discharge their ``rd``/``wr``
+obligations.
+
+Slot layout (one 8-byte word): key in the low 32 bits (the source IP,
+little-endian), TTL in the high 32 bits.  A zero word is a free slot.
+
+Every program has a pure-Python oracle (:data:`ORACLES`) replicating
+the Alpha semantics bit for bit over ``(state, frame)`` — used by the
+differential tests and the benchmark for verdict *and* post-state
+comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping
+
+from repro.alpha.isa import Br, Branch, Program, branch_target
+from repro.alpha.machine import Memory
+from repro.alpha.parser import parse_program
+from repro.filters.policy import PACKET_BASE
+from repro.logic.formulas import (
+    Forall,
+    Formula,
+    Implies,
+    conj,
+    eq,
+    ge,
+    lt,
+    ne,
+    rd,
+    wr,
+)
+from repro.logic.terms import Var, add64, and64, mod64
+from repro.vcgen.policy import SafetyPolicy, word_identity
+
+#: Where the kernel maps the persistent state area (aligned, disjoint
+#: from the packet at 0x10000 and the BPF scratch at 0x20000).
+KV_STATE_BASE = 0x0003_0000
+
+#: State layout: 16 table slots, a reserved cursor word, a stats word,
+#: and two spare words — 20 words, 160 bytes.
+SLOT_BYTES = 8
+TABLE_SLOTS = 16
+TABLE_BYTES = TABLE_SLOTS * SLOT_BYTES       # 128, fits an operate literal
+COUNT_OFFSET = 136                           # NAT translation counter
+STATE_SIZE = 160
+STATE_WORDS = STATE_SIZE // 8
+
+#: TTL ticks a fresh or refreshed entry lives for.
+TTL_INIT = 8
+
+#: The load balancer's four backend counters live in the first four
+#: state words; chosen backends get host octet 100 + index.
+BACKEND_SLOTS = 4
+BACKEND_TABLE_BYTES = BACKEND_SLOTS * SLOT_BYTES   # 32
+BACKEND_OCTET_BASE = 100
+
+#: The NAT translation address, 128.2.220.1, as the little-endian 32-bit
+#: value the rewriter splices into the source-IP lane.
+NAT_IP_LE = 0x01DC0280
+
+_SIGN_BOUND = 1 << 63
+_WORD_MASK = (1 << 64) - 1
+
+
+# -- the read/write resource policy -----------------------------------
+
+
+def _aligned_index_guard(var: str, bound) -> Formula:
+    index = Var(var)
+    return conj([ge(index, 0), lt(index, bound),
+                 eq(and64(index, 7), 0)])
+
+
+def _region_conjuncts(base: Var, bound) -> tuple[Formula, Formula]:
+    """``(readable, writable)`` quantified conjuncts for one region."""
+    index = Var("i")
+    guard = _aligned_index_guard("i", bound)
+    return (Forall("i", Implies(guard, rd(add64(base, index)))),
+            Forall("i", Implies(guard, wr(add64(base, index)))))
+
+
+def kv_precondition() -> Formula:
+    """The §2-style read/write precondition.
+
+    ``r1`` = packet (readable *and* writable, aligned words below the
+    length ``r2``), ``r3`` = the 160-byte persistent state area
+    (readable and writable), regions disjoint.
+    """
+    r1, r2, r3 = Var("r1"), Var("r2"), Var("r3")
+    i, j = Var("i"), Var("j")
+    readable_packet, writable_packet = _region_conjuncts(r1, r2)
+    readable_state, writable_state = _region_conjuncts(r3, STATE_SIZE)
+    no_alias = Forall("i", Forall("j", Implies(
+        conj([ge(i, 0), lt(i, r2), ge(j, 0), lt(j, STATE_SIZE)]),
+        ne(add64(r1, i), add64(r3, j)))))
+    return conj([
+        word_identity(r1),
+        word_identity(r2),
+        lt(r2, _SIGN_BOUND),
+        ge(r2, 64),
+        word_identity(r3),
+        readable_packet,
+        writable_packet,
+        readable_state,
+        writable_state,
+        no_alias,
+    ])
+
+
+def kv_packet_policy() -> SafetyPolicy:
+    """The write-capable packet policy the KV family is certified under."""
+
+    def make_checkers(registers: Mapping[int, int],
+                      read_word: Callable[[int], int]):
+        base = registers[1]
+        length = registers[2]
+        state = registers[3]
+
+        def allowed(address: int) -> bool:
+            if base <= address < base + length:
+                return True
+            return state <= address < state + STATE_SIZE
+
+        return allowed, allowed
+
+    return SafetyPolicy(
+        name="kv-packet",
+        precondition=kv_precondition(),
+        make_checkers=make_checkers,
+    )
+
+
+def kv_invariant(bound: int = TABLE_BYTES) -> Formula:
+    """The table-scan loop invariant at a backward-branch target.
+
+    ``r4`` is the running slot offset: a word value, 8-byte aligned,
+    strictly below the scan ``bound`` (established by the ``CMPULT``
+    guarding every back edge).  The policy's region facts are carried
+    along verbatim — a cut point sees *only* its invariant, and the
+    store tails downstream need both the packet and the state
+    ``rd``/``wr`` conjuncts (§4: invariants act as the preconditions of
+    the acyclic fragments).
+    """
+    r1, r2, r3, r4 = Var("r1"), Var("r2"), Var("r3"), Var("r4")
+    readable_packet, writable_packet = _region_conjuncts(r1, r2)
+    readable_state, writable_state = _region_conjuncts(r3, STATE_SIZE)
+    return conj([
+        word_identity(r1),
+        word_identity(r2),
+        lt(r2, _SIGN_BOUND),
+        ge(r2, 64),
+        word_identity(r3),
+        word_identity(r4),
+        eq(and64(r4, 7), 0),
+        lt(mod64(r4), mod64(bound)),
+        readable_packet,
+        writable_packet,
+        readable_state,
+        writable_state,
+    ])
+
+
+def loop_cut_points(program: Program) -> tuple[int, ...]:
+    """The backward-branch targets of ``program``, in pc order."""
+    targets = {branch_target(pc, instruction)
+               for pc, instruction in enumerate(program)
+               if isinstance(instruction, (Branch, Br))
+               and branch_target(pc, instruction) <= pc}
+    return tuple(sorted(targets))
+
+
+# -- the programs ------------------------------------------------------
+
+KV_INSERT_SOURCE = """
+        SUBQ   r0, r0, r0      % verdict := 0
+        LDQ    r5, 24(r1)      % frame bytes 24..31 hold the src IP
+        EXTLL  r5, 2, r6       % key := src IP, little-endian 32 bits
+        SUBQ   r7, r7, r7
+        LDA    r7, 8(r7)       % TTL_INIT
+        SLL    r7, 32, r7
+        BIS    r6, r7, r7      % fresh slot word: key | TTL << 32
+        SUBQ   r4, r4, r4      % slot offset := 0
+        BR     check
+loop:   ADDQ   r3, r4, r5
+        LDQ    r5, 0(r5)       % current slot word
+        EXTLL  r5, 0, r8       % its key field
+        CMPEQ  r8, r6, r9
+        BNE    r9, store       % hit: refresh the TTL in place
+        BNE    r5, next        % occupied by another key: keep scanning
+        BR     store           % free slot: insert here
+next:   ADDQ   r4, 8, r4
+check:  CMPULT r4, 128, r5
+        BNE    r5, loop
+        RET                    % table full: verdict 0
+store:  ADDQ   r3, r4, r5
+        STQ    r7, 0(r5)
+        SUBQ   r0, r0, r0
+        LDA    r0, 1(r0)       % verdict := 1
+        RET
+"""
+
+KV_EVICT_SOURCE = """
+        SUBQ   r0, r0, r0      % evicted := 0
+        SUBQ   r7, r7, r7
+        LDA    r7, 1(r7)
+        SLL    r7, 32, r7      % one TTL tick
+        SUBQ   r4, r4, r4
+        BR     check
+loop:   ADDQ   r3, r4, r5
+        LDQ    r6, 0(r5)
+        BEQ    r6, next        % free slot
+        SRL    r6, 32, r8      % TTL field
+        CMPULE r8, 1, r9
+        BNE    r9, evict
+        SUBQ   r6, r7, r6      % age: TTL -= 1
+        STQ    r6, 0(r5)
+        BR     next
+evict:  SUBQ   r6, r6, r6
+        STQ    r6, 0(r5)       % clear the expired slot
+        LDA    r0, 1(r0)       % evicted += 1
+next:   ADDQ   r4, 8, r4
+check:  CMPULT r4, 128, r5
+        BNE    r5, loop
+        RET
+"""
+
+NAT_REWRITE_SOURCE = """
+        SUBQ   r0, r0, r0      % verdict := 0
+        LDQ    r5, 8(r1)
+        EXTWL  r5, 4, r5       % ethertype (bytes 12-13, little-endian)
+        CMPEQ  r5, 8, r5       % IPv4?
+        BEQ    r5, out
+        LDQ    r5, 24(r1)
+        EXTLL  r5, 2, r6       % key := src IP (LE32)
+        SLL    r6, 40, r7
+        SRL    r7, 40, r7      % its network part (LE24)
+        SUBQ   r8, r8, r8
+        LDAH   r8, 206(r8)
+        LDA    r8, 640(r8)     % network A, byte-swapped: 0xCE0280
+        CMPEQ  r7, r8, r7
+        BEQ    r7, out         % only network-A flows are translated
+        SUBQ   r7, r7, r7
+        LDA    r7, 8(r7)
+        SLL    r7, 32, r7
+        BIS    r6, r7, r7      % fresh flow word: key | TTL << 32
+        SUBQ   r4, r4, r4
+        BR     check
+loop:   ADDQ   r3, r4, r5
+        LDQ    r5, 0(r5)
+        EXTLL  r5, 0, r8
+        CMPEQ  r8, r6, r9
+        BNE    r9, hit         % known flow
+        BNE    r5, next
+        BR     hit             % free slot: new flow
+next:   ADDQ   r4, 8, r4
+check:  CMPULT r4, 128, r5
+        BNE    r5, loop
+        BR     out             % flow table full: pass untranslated
+hit:    ADDQ   r3, r4, r5
+        STQ    r7, 0(r5)       % record / refresh the flow
+        LDQ    r5, 24(r1)
+        SUBQ   r8, r8, r8
+        LDA    r8, -1(r8)      % all ones
+        EXTLL  r8, 0, r9
+        SLL    r9, 16, r9      % the src-IP byte lane of word 24
+        XOR    r8, r9, r9      % keep everything outside the lane
+        AND    r5, r9, r5
+        SUBQ   r8, r8, r8
+        LDAH   r8, 476(r8)
+        LDA    r8, 640(r8)     % translated source 128.2.220.1 (LE)
+        SLL    r8, 16, r8
+        BIS    r5, r8, r5
+        STQ    r5, 24(r1)      % in-place packet rewrite
+        LDQ    r8, 136(r3)
+        LDA    r8, 1(r8)
+        STQ    r8, 136(r3)     % translation counter
+        SUBQ   r0, r0, r0
+        LDA    r0, 1(r0)       % verdict := translated
+out:    RET
+"""
+
+LB_BALANCE_SOURCE = """
+        SUBQ   r0, r0, r0      % verdict := 0
+        LDQ    r5, 8(r1)
+        EXTWL  r5, 4, r5       % ethertype
+        CMPEQ  r5, 8, r5
+        BEQ    r5, out         % only IP flows are balanced
+        LDQ    r7, 0(r3)       % running min := counters[0]
+        SUBQ   r4, r4, r4
+        LDA    r4, 8(r4)
+        BR     chk1
+min:    ADDQ   r3, r4, r5      % first scan: least backend load
+        LDQ    r5, 0(r5)
+        CMPULT r5, r7, r8
+        BEQ    r8, skip
+        BIS    r5, r5, r7      % new minimum
+skip:   ADDQ   r4, 8, r4
+chk1:   CMPULT r4, 32, r5
+        BNE    r5, min
+        SUBQ   r4, r4, r4
+        BR     chk2
+pick:   ADDQ   r3, r4, r5      % second scan: first counter at the min
+        LDQ    r6, 0(r5)
+        CMPEQ  r6, r7, r8
+        BNE    r8, take
+        ADDQ   r4, 8, r4
+chk2:   CMPULT r4, 32, r5
+        BNE    r5, pick
+        BR     out             % unreachable: the minimum is in the table
+take:   LDA    r6, 1(r6)
+        STQ    r6, 0(r5)       % one more flow on the chosen backend
+        SRL    r4, 3, r6
+        LDA    r6, 100(r6)     % backend host octet 100 + index
+        SLL    r6, 8, r6       % into byte 33's lane of word 32
+        LDQ    r5, 32(r1)
+        SUBQ   r8, r8, r8
+        LDA    r8, 255(r8)
+        SLL    r8, 8, r8       % the dst host-octet lane
+        SUBQ   r9, r9, r9
+        LDA    r9, -1(r9)
+        XOR    r9, r8, r8      % everything outside the lane
+        AND    r5, r8, r5
+        BIS    r5, r6, r5
+        STQ    r5, 32(r1)      % in-place packet rewrite
+        SUBQ   r0, r0, r0
+        LDA    r0, 1(r0)
+out:    RET
+"""
+
+
+@dataclass(frozen=True)
+class KvSpec:
+    """One write-capable workload program.
+
+    ``loop_bound`` is the byte bound of every table-scan loop in the
+    program (the literal in its ``CMPULT`` back-edge guards); the
+    certification invariants map every backward-branch target to
+    :func:`kv_invariant` at that bound.
+    """
+
+    name: str
+    description: str
+    source: str
+    loop_bound: int
+
+    @property
+    def program(self) -> Program:
+        return parse_program(self.source)
+
+    def invariants(self) -> dict[int, Formula]:
+        invariant = kv_invariant(self.loop_bound)
+        return {pc: invariant for pc in loop_cut_points(self.program)}
+
+
+KV_INSERT = KvSpec(
+    name="kv-insert",
+    description="insert/refresh the source IP in the bounded KV table",
+    source=KV_INSERT_SOURCE,
+    loop_bound=TABLE_BYTES,
+)
+
+KV_EVICT = KvSpec(
+    name="kv-evict",
+    description="age every TTL by one tick, evicting expired slots",
+    source=KV_EVICT_SOURCE,
+    loop_bound=TABLE_BYTES,
+)
+
+NAT_REWRITE = KvSpec(
+    name="nat-rewrite",
+    description="record network-A flows and NAT their source IP in place",
+    source=NAT_REWRITE_SOURCE,
+    loop_bound=TABLE_BYTES,
+)
+
+LB_BALANCE = KvSpec(
+    name="lb-balance",
+    description="send IP flows to the least-loaded of four backends",
+    source=LB_BALANCE_SOURCE,
+    loop_bound=BACKEND_TABLE_BYTES,
+)
+
+KV_PROGRAMS: tuple[KvSpec, ...] = (KV_INSERT, KV_EVICT, NAT_REWRITE,
+                                   LB_BALANCE)
+
+
+# -- kernel-side memory ------------------------------------------------
+
+
+def _pad8(data: bytes) -> bytes:
+    remainder = len(data) % 8
+    if remainder:
+        return data + b"\x00" * (8 - remainder)
+    return data
+
+
+def kv_memory(packet: bytes,
+              packet_base: int = PACKET_BASE,
+              state_base: int = KV_STATE_BASE) -> Memory:
+    """Memory for one invocation: writable packet, zeroed state area."""
+    memory = Memory()
+    memory.map_region(packet_base, _pad8(packet), writable=True,
+                      name="packet")
+    memory.map_region(state_base, bytes(STATE_SIZE), writable=True,
+                      name="state")
+    return memory
+
+
+def reusable_kv_memory(packet_base: int = PACKET_BASE,
+                       state_base: int = KV_STATE_BASE):
+    """One kernel-side :class:`Memory` reused across a whole trace.
+
+    Returns ``(memory, rebind)``.  ``rebind(packet)`` swaps the packet
+    region's bytes in place — but, unlike the BPF scratch, the state
+    area is **not** re-zeroed: the table persists across invocations,
+    which is the entire point of a KV extension.  State is per shard
+    (each shard owns one memory), mirroring per-CPU kernel maps.
+    """
+    memory = Memory()
+    memory.map_region(packet_base, bytes(8), writable=True, name="packet")
+    memory.map_region(state_base, bytes(STATE_SIZE), writable=True,
+                      name="state")
+    rebind_region = memory.rebind_region
+
+    def rebind(packet: bytes) -> None:
+        remainder = len(packet) % 8
+        if remainder:
+            rebind_region("packet", packet + b"\x00" * (8 - remainder))
+        else:
+            rebind_region("packet", packet)
+
+    return memory, rebind
+
+
+def kv_registers(packet_length: int,
+                 packet_base: int = PACKET_BASE,
+                 state_base: int = KV_STATE_BASE) -> dict[int, int]:
+    """Entry register file for a KV invocation (r1, r2, r3)."""
+    return {1: packet_base, 2: packet_length, 3: state_base}
+
+
+# -- pure-Python oracles ----------------------------------------------
+#
+# Each oracle replicates its program's Alpha semantics exactly over
+# ``(state, frame)``: ``state`` is the 20-word state area as a mutable
+# list of ints, ``frame`` the raw frame bytes.  It returns ``(verdict,
+# padded_frame_bytes)`` where the padded bytes are the packet region's
+# post-state (frames are mapped zero-padded to a word boundary, and
+# the rewriters store whole words).
+
+
+def initial_state() -> list[int]:
+    """A fresh (zeroed) state area, as the oracle's word list."""
+    return [0] * STATE_WORDS
+
+
+def _word(data: bytes, offset: int) -> int:
+    return int.from_bytes(data[offset:offset + 8], "little")
+
+
+def _put_word(data: bytearray, offset: int, value: int) -> None:
+    data[offset:offset + 8] = (value & _WORD_MASK).to_bytes(8, "little")
+
+
+def _src_key(padded: bytes) -> int:
+    """The source-IP key: bits 16..47 of frame word 24."""
+    return (_word(padded, 24) >> 16) & 0xFFFFFFFF
+
+
+def _ethertype(padded: bytes) -> int:
+    return (_word(padded, 8) >> 32) & 0xFFFF
+
+
+def _scan(state: list[int], key: int) -> int | None:
+    """First slot whose key matches, else first free slot, else None."""
+    for slot in range(TABLE_SLOTS):
+        word = state[slot]
+        if (word & 0xFFFFFFFF) == key or word == 0:
+            return slot
+    return None
+
+
+def kv_insert_oracle(state: list[int],
+                     frame: bytes) -> tuple[int, bytes]:
+    padded = _pad8(frame)
+    key = _src_key(padded)
+    slot = _scan(state, key)
+    if slot is None:
+        return 0, padded
+    state[slot] = key | (TTL_INIT << 32)
+    return 1, padded
+
+
+def kv_evict_oracle(state: list[int],
+                    frame: bytes) -> tuple[int, bytes]:
+    padded = _pad8(frame)
+    evicted = 0
+    for slot in range(TABLE_SLOTS):
+        word = state[slot]
+        if word == 0:
+            continue
+        if (word >> 32) <= 1:
+            state[slot] = 0
+            evicted += 1
+        else:
+            state[slot] = (word - (1 << 32)) & _WORD_MASK
+    return evicted, padded
+
+
+def nat_rewrite_oracle(state: list[int],
+                       frame: bytes) -> tuple[int, bytes]:
+    padded = _pad8(frame)
+    if _ethertype(padded) != 0x0008:
+        return 0, padded
+    key = _src_key(padded)
+    if key & 0xFFFFFF != 0xCE0280:       # not a network-A source
+        return 0, padded
+    slot = _scan(state, key)
+    if slot is None:
+        return 0, padded
+    state[slot] = key | (TTL_INIT << 32)
+    out = bytearray(padded)
+    word = _word(padded, 24)
+    lane = 0xFFFFFFFF << 16
+    _put_word(out, 24, (word & ~lane) | (NAT_IP_LE << 16))
+    state[COUNT_OFFSET // 8] = (state[COUNT_OFFSET // 8] + 1) & _WORD_MASK
+    return 1, bytes(out)
+
+
+def lb_balance_oracle(state: list[int],
+                      frame: bytes) -> tuple[int, bytes]:
+    padded = _pad8(frame)
+    if _ethertype(padded) != 0x0008:
+        return 0, padded
+    best = min(state[:BACKEND_SLOTS])
+    index = state[:BACKEND_SLOTS].index(best)
+    state[index] = (state[index] + 1) & _WORD_MASK
+    octet = BACKEND_OCTET_BASE + index
+    out = bytearray(padded)
+    word = _word(padded, 32)
+    _put_word(out, 32, (word & ~0xFF00) | (octet << 8))
+    return 1, bytes(out)
+
+
+#: name -> oracle, one per program in :data:`KV_PROGRAMS`.
+ORACLES: dict[str, Callable[[list[int], bytes], tuple[int, bytes]]] = {
+    KV_INSERT.name: kv_insert_oracle,
+    KV_EVICT.name: kv_evict_oracle,
+    NAT_REWRITE.name: nat_rewrite_oracle,
+    LB_BALANCE.name: lb_balance_oracle,
+}
+
+
+def oracle_run(name: str, frames) -> tuple[list[int], list[bytes],
+                                           list[int]]:
+    """Run ``name``'s oracle over ``frames`` serially from a fresh state.
+
+    Returns ``(verdicts, padded_frames_out, final_state)`` — the
+    reference a single-shard runtime dispatch must match bit for bit.
+    """
+    oracle = ORACLES[name]
+    state = initial_state()
+    verdicts: list[int] = []
+    outputs: list[bytes] = []
+    for frame in frames:
+        verdict, out = oracle(state, frame)
+        verdicts.append(verdict)
+        outputs.append(out)
+    return verdicts, outputs, state

@@ -20,10 +20,14 @@ import random
 from dataclasses import dataclass
 
 from repro.filters.packets import (
+    MAX_FRAME,
+    adversarial_ihl_frame,
     make_arp_packet,
     make_ethernet,
     make_tcp_packet,
     make_udp_packet,
+    oversize_frame,
+    truncate_frame,
 )
 
 #: The two networks Filters 2 and 3 match on (/24s, paper-era CMU space).
@@ -97,6 +101,118 @@ def generate_trace(config: TraceConfig | None = None) -> list[bytes]:
     config = config or TraceConfig()
     rng = random.Random(config.seed)
     return [generate_packet(rng, config) for __ in range(config.packets)]
+
+
+# -- KV workload traces ------------------------------------------------
+
+
+@dataclass(frozen=True)
+class KvTraceConfig:
+    """Knobs for the key-value workload traces.
+
+    ``hosts`` distinct source addresses are ranked by popularity and
+    sampled from a Zipf distribution with exponent ``zipf_s`` — the
+    heavy-tailed key-popularity law real caches see: a handful of hot
+    keys dominate while a long tail keeps churning the table.
+    ``network_a_fraction`` of the hosts live in network A (the flows
+    the NAT rewriter translates).
+    """
+
+    packets: int = 200_000
+    seed: int = 19961028
+    hosts: int = 64
+    zipf_s: float = 1.1
+    network_a_fraction: float = 0.6
+    ip_fraction: float = 0.9      # remainder is ARP/other ethertypes
+    payload_sizes: tuple[int, ...] = (0, 16, 64, 200, 512, 1024, 1400)
+
+
+def _kv_hosts(rng: random.Random, config: KvTraceConfig) -> list[str]:
+    """The ranked host population (popularity rank 1 first)."""
+    hosts: list[str] = []
+    seen: set[str] = set()
+    while len(hosts) < config.hosts:
+        if rng.random() < config.network_a_fraction:
+            network = NETWORK_A
+        else:
+            network = rng.choice(OTHER_NETWORKS)
+        host = f"{network}.{rng.randrange(1, 255)}"
+        if host not in seen:
+            seen.add(host)
+            hosts.append(host)
+    return hosts
+
+
+def generate_kv_trace(config: KvTraceConfig | None = None) -> list[bytes]:
+    """A seeded trace whose source IPs follow a Zipf popularity law.
+
+    This is the KV family's steady-state workload: repeated hot keys
+    exercise the hit/refresh path, the tail exercises insertion and —
+    once the 16-slot table fills — the full-scan miss path and TTL
+    turnover.
+    """
+    config = config or KvTraceConfig()
+    rng = random.Random(config.seed)
+    hosts = _kv_hosts(rng, config)
+    weights = [1.0 / (rank ** config.zipf_s)
+               for rank in range(1, len(hosts) + 1)]
+    sources = rng.choices(hosts, weights=weights, k=config.packets)
+    frames: list[bytes] = []
+    for src in sources:
+        payload = b"\x00" * rng.choice(config.payload_sizes)
+        if rng.random() < config.ip_fraction:
+            dst = f"{NETWORK_B}.{rng.randrange(1, 255)}"
+            frames.append(make_tcp_packet(
+                src, dst, rng.randrange(1024, 65536),
+                rng.choice(OTHER_PORTS), payload))
+        else:
+            frames.append(make_arp_packet(
+                src, f"{NETWORK_B}.{rng.randrange(1, 255)}",
+                oper=rng.choice((1, 2))))
+    return frames
+
+
+def generate_adversarial_trace(packets: int = 10_000,
+                               seed: int = 19961028) -> list[bytes]:
+    """A seeded hostile mix aimed at the write-capable extensions.
+
+    Alongside ordinary traffic: minimum- and maximum-size frames,
+    truncated and oversized frames (the invocation contract must shed
+    them), adversarial IHL headers, all-ones and all-zeros frames,
+    zero source addresses (the KV key edge case), and frames that spoof
+    the NAT translation address itself.  Every generated frame is a
+    function of the seed alone.
+    """
+    rng = random.Random(seed)
+    base = KvTraceConfig(packets=1, seed=0)  # reuse the payload mix
+    frames: list[bytes] = []
+    for __ in range(packets):
+        roll = rng.random()
+        payload = b"\x00" * rng.choice(base.payload_sizes)
+        src = f"{NETWORK_A}.{rng.randrange(1, 255)}"
+        dst = f"{NETWORK_B}.{rng.randrange(1, 255)}"
+        frame = make_tcp_packet(src, dst, rng.randrange(1024, 65536),
+                                rng.choice(OTHER_PORTS), payload)
+        if roll < 0.10:
+            frame = truncate_frame(frame, rng.randrange(1, 64))
+        elif roll < 0.20:
+            frame = oversize_frame(frame, MAX_FRAME + rng.randrange(1, 512))
+        elif roll < 0.30:
+            frame = adversarial_ihl_frame(frame,
+                                          ihl_words=rng.randrange(11, 16))
+        elif roll < 0.38:
+            frame = bytes(rng.randrange(64, MAX_FRAME + 1))  # all zeros
+        elif roll < 0.46:
+            frame = b"\xff" * rng.randrange(64, MAX_FRAME + 1)
+        elif roll < 0.54:
+            frame = make_tcp_packet("0.0.0.0", dst, 1024, 80, payload)
+        elif roll < 0.62:
+            # spoof the NAT translation source address
+            frame = make_tcp_packet("128.2.220.1", dst, 1024, 80, payload)
+        elif roll < 0.70:
+            frame = rng.randbytes(rng.randrange(64, 256))
+        frames.append(frame)
+    return frames
 
 
 def replay_trace(trace: list[bytes], repeats: int = 1):

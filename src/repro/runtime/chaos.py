@@ -34,6 +34,15 @@ pool-wedge            validation pool workers hang → per-item timeouts
                       verdicts unchanged, ``validate_batch`` returns
 pool-kill             validation pool workers die (``os._exit``) → same
                       degradation, no hang, verdicts unchanged
+writer-fault          a store-bearing (KV) extension faulted mid-loop
+                      by a broken budget → quarantine after
+                      ``fault_threshold`` aborts, *no half-written
+                      table slots* (aborted invocations leave the
+                      persistent state exactly as the oracle over the
+                      completed frames alone), and reinstatement
+                      revalidates the proof, re-derives the WCET
+                      budget, and serves on with oracle-identical
+                      verdicts and state
 upgrade-rollback      a hot-swap candidate that diverges → automatic
                       rollback on the first divergence; the post-rollback
                       verdict stream is bit-identical to pre-upgrade
@@ -474,6 +483,88 @@ def _scenario_pool_kill(campaign: _Campaign, checks: _Checks) -> dict:
     return _pool_scenario(campaign, checks, killed)
 
 
+def _scenario_writer_fault(campaign: _Campaign, checks: _Checks) -> dict:
+    """A write-capable extension is cut off mid-loop, repeatedly.
+
+    The victim is ``kv-insert`` from the store-bearing family — unlike
+    the read-only filters, a faulted invocation here could in principle
+    leave a half-written table.  It must not: the budget check fires
+    *before* a block executes, so an aborted invocation performs either
+    all of its stores or none, and the persistent state must equal the
+    pure-Python oracle run over only the frames that completed.
+    """
+    from repro.filters.kv import (
+        KV_INSERT,
+        kv_packet_policy,
+        kv_registers,
+        oracle_run,
+        reusable_kv_memory,
+    )
+    from repro.filters.trace import KvTraceConfig, generate_kv_trace
+
+    config = campaign.config
+    policy = kv_packet_policy()
+    blob = certify(KV_INSERT.source, policy,
+                   invariants=KV_INSERT.invariants()).binary.to_bytes()
+    trace = generate_kv_trace(KvTraceConfig(packets=config.packets,
+                                            seed=config.seed & 0xFFFF))
+    third = len(trace) // 3
+
+    def state_bytes(words: list[int]) -> bytes:
+        return b"".join(word.to_bytes(8, "little") for word in words)
+
+    runtime = PacketRuntime(policy, RuntimeConfig(
+        shards=1, cycle_budget="auto", fault_threshold=3,
+        memory_factory=reusable_kv_memory, registers_fn=kv_registers))
+    writer = runtime.attach(KV_INSERT.name, blob)
+    sane_budget = writer.cycle_budget
+
+    writer.cycle_budget = 40   # fires inside the table-scan loop
+    records = _verdict_stream(runtime.dispatch(trace[:third],
+                                               collect=True))
+    checks.equal("mid-loop aborts quarantine the writer",
+                 writer.state, ExtensionState.QUARANTINED)
+    quarantined_at = time.perf_counter()
+    overruns = writer.snapshot().faults
+    checks.add("aborts were counted", overruns >= 3,
+               f"faults={overruns}")
+    checks.add("the fault ledger names the budget",
+               writer.last_fault and "budget" in writer.last_fault,
+               repr(writer.last_fault))
+    aborted = [index for index, record in enumerate(records)
+               if record.get(KV_INSERT.name, "gone") is None]
+    checks.add("aborted invocations are visible in the records",
+               len(aborted) >= 3, f"aborted={len(aborted)}")
+
+    completed = [trace[index] for index, record in enumerate(records)
+                 if record.get(KV_INSERT.name) is not None]
+    __, __, oracle_state = oracle_run(KV_INSERT.name, completed)
+    checks.equal("no half-written slots: state is the completed-frames "
+                 "oracle's", bytes(runtime.shards[0].memory.region("state")),
+                 state_bytes(oracle_state))
+
+    restored = runtime.reinstate(KV_INSERT.name)
+    mttr = time.perf_counter() - quarantined_at
+    checks.equal("revalidated and reinstated",
+                 restored.state, ExtensionState.REINSTATED)
+    checks.equal("reinstatement re-derived the WCET budget",
+                 restored.cycle_budget, sane_budget)
+
+    after = _verdict_stream(runtime.dispatch(trace[third:], collect=True))
+    verdicts, __, oracle_state = oracle_run(KV_INSERT.name,
+                                            completed + trace[third:])
+    checks.equal("post-recovery verdicts oracle-identical",
+                 [record.get(KV_INSERT.name) for record in after],
+                 verdicts[len(completed):])
+    checks.equal("post-recovery state bit-identical to the oracle",
+                 bytes(runtime.shards[0].memory.region("state")),
+                 state_bytes(oracle_state))
+    checks.equal("no further faults after recovery",
+                 runtime.snapshot().faults - overruns, 0)
+    return {"mttr_seconds": [mttr], "overruns": overruns,
+            "aborted": len(aborted), "completed": len(completed)}
+
+
 def _scenario_upgrade_rollback(campaign: _Campaign,
                                checks: _Checks) -> dict:
     runtime = campaign.runtime()
@@ -641,6 +732,7 @@ SCENARIOS = {
     "shard-failure": _scenario_shard_failure,
     "pool-wedge": _scenario_pool_wedge,
     "pool-kill": _scenario_pool_kill,
+    "writer-fault": _scenario_writer_fault,
     "upgrade-rollback": _scenario_upgrade_rollback,
     "upgrade-promotion": _scenario_upgrade_promotion,
     "upgrade-patch-corruption": _scenario_upgrade_patch_corruption,

@@ -1,0 +1,225 @@
+"""The write-capable KV/NAT/LB family: certification, oracles, and the
+engine-vs-oracle differential.
+
+Every program in :data:`KV_PROGRAMS` must certify end to end under the
+read/write policy with at least one loop invariant, and the native
+engine's verdicts, packet rewrites, and persistent state must match the
+pure-Python oracles bit for bit — the oracles are the specification the
+runtime differential (``tests/runtime/test_kv_runtime.py``) and the
+benchmark reuse.
+"""
+
+import pytest
+
+from repro.alpha.engine import ExecutionEngine
+from repro.filters.kv import (
+    BACKEND_OCTET_BASE,
+    BACKEND_SLOTS,
+    KV_PROGRAMS,
+    NAT_IP_LE,
+    ORACLES,
+    STATE_SIZE,
+    TABLE_SLOTS,
+    TTL_INIT,
+    initial_state,
+    kv_evict_oracle,
+    kv_insert_oracle,
+    kv_packet_policy,
+    kv_registers,
+    lb_balance_oracle,
+    loop_cut_points,
+    nat_rewrite_oracle,
+    oracle_run,
+    reusable_kv_memory,
+)
+from repro.filters.packets import MAX_FRAME, MIN_FRAME, make_tcp_packet
+from repro.filters.trace import (
+    KvTraceConfig,
+    generate_adversarial_trace,
+    generate_kv_trace,
+)
+from repro.pcc import certify, validate
+
+PACKETS = 400
+
+
+@pytest.fixture(scope="module")
+def kv_policy():
+    return kv_packet_policy()
+
+
+@pytest.fixture(scope="module")
+def certified_kv(kv_policy):
+    return {spec.name: certify(spec.source, kv_policy,
+                               invariants=spec.invariants())
+            for spec in KV_PROGRAMS}
+
+
+@pytest.fixture(scope="module")
+def kv_trace():
+    return generate_kv_trace(KvTraceConfig(packets=PACKETS, hosts=24))
+
+
+def _frame(src="128.2.206.9", dst="128.2.220.7"):
+    return make_tcp_packet(src, dst, 4321, 80, b"")
+
+
+def _src_key_of(src):
+    import socket
+    return int.from_bytes(socket.inet_aton(src), "little")
+
+
+# -- certification ------------------------------------------------------
+
+
+def test_family_has_four_programs():
+    assert len(KV_PROGRAMS) == 4
+    assert set(ORACLES) == {spec.name for spec in KV_PROGRAMS}
+
+
+@pytest.mark.parametrize("spec", KV_PROGRAMS, ids=lambda s: s.name)
+def test_every_program_has_a_loop_invariant(spec):
+    cuts = loop_cut_points(spec.program)
+    assert len(cuts) >= 1
+    assert set(spec.invariants()) == set(cuts)
+
+
+@pytest.mark.parametrize("spec", KV_PROGRAMS, ids=lambda s: s.name)
+def test_certifies_and_validates(spec, kv_policy, certified_kv):
+    certified = certified_kv[spec.name]
+    assert certified.binary.proof  # a real proof, not a stub
+    report = validate(certified.binary.to_bytes(), kv_policy)
+    assert report.program == spec.program
+
+
+@pytest.mark.parametrize("spec", KV_PROGRAMS, ids=lambda s: s.name)
+def test_programs_contain_stores(spec):
+    from repro.alpha.isa import Stq
+    assert any(isinstance(ins, Stq) for ins in spec.program)
+
+
+# -- pinned oracle vectors ---------------------------------------------
+
+
+def test_insert_then_refresh_then_fill():
+    state = initial_state()
+    verdict, __ = kv_insert_oracle(state, _frame("128.2.206.9"))
+    assert verdict == 1
+    key = _src_key_of("128.2.206.9")
+    assert state[0] == key | (TTL_INIT << 32)
+    # A second sighting refreshes in place, not a second slot.
+    kv_insert_oracle(state, _frame("128.2.206.9"))
+    assert state[1] == 0
+    # Fill the table with distinct keys; the next new key is refused.
+    for host in range(1, TABLE_SLOTS):
+        assert kv_insert_oracle(state, _frame(f"10.1.4.{host}"))[0] == 1
+    verdict, __ = kv_insert_oracle(state, _frame("192.168.1.200"))
+    assert verdict == 0
+
+
+def test_evict_ages_and_clears():
+    state = initial_state()
+    kv_insert_oracle(state, _frame("128.2.206.9"))
+    for tick in range(TTL_INIT - 1):
+        assert kv_evict_oracle(state, _frame())[0] == 0
+    assert state[0] >> 32 == 1
+    verdict, __ = kv_evict_oracle(state, _frame())
+    assert verdict == 1
+    assert state[0] == 0
+
+
+def test_nat_rewrites_network_a_sources_only():
+    state = initial_state()
+    verdict, out = nat_rewrite_oracle(state, _frame("128.2.206.9"))
+    assert verdict == 1
+    assert out[26:30] == bytes([128, 2, 220, 1])     # rewritten src IP
+    assert state[17] == 1                            # translation counter
+    verdict, out2 = nat_rewrite_oracle(state, _frame("192.168.1.5"))
+    assert verdict == 0
+    assert out2[26:30] == bytes([192, 168, 1, 5])    # untouched
+    assert state[17] == 1
+    # The splice is the little-endian translation address, sanity-pinned.
+    assert NAT_IP_LE.to_bytes(4, "little") == bytes([128, 2, 220, 1])
+
+
+def test_lb_picks_least_loaded_backend():
+    state = initial_state()
+    state[:BACKEND_SLOTS] = [5, 2, 2, 9]
+    verdict, out = lb_balance_oracle(state, _frame())
+    assert verdict == 1
+    assert state[:BACKEND_SLOTS] == [5, 3, 2, 9]     # first minimum wins
+    assert out[33] == BACKEND_OCTET_BASE + 1         # dst host octet
+
+
+def test_non_ip_frames_pass_untouched():
+    from repro.filters.packets import make_arp_packet
+    arp = make_arp_packet("128.2.206.9", "128.2.220.7")
+    for oracle in (nat_rewrite_oracle, lb_balance_oracle):
+        state = initial_state()
+        verdict, out = oracle(state, arp)
+        assert verdict == 0
+        assert out[:len(arp)] == arp
+        assert state == initial_state()
+
+
+# -- engine vs oracle, serially over a shared persistent state ----------
+
+
+@pytest.mark.parametrize("spec", KV_PROGRAMS, ids=lambda s: s.name)
+def test_engine_matches_oracle_over_trace(spec, certified_kv, kv_trace):
+    report_program = validate(
+        certified_kv[spec.name].binary.to_bytes(), kv_packet_policy()
+    ).program
+    engine = ExecutionEngine(report_program)
+    memory, rebind = reusable_kv_memory()
+    verdicts, outputs, state = oracle_run(spec.name, kv_trace)
+    for frame, want_verdict, want_out in zip(kv_trace, verdicts, outputs):
+        rebind(frame)
+        result = engine.run(memory, kv_registers(len(frame)))
+        assert result.value == want_verdict
+        assert bytes(memory.region("packet")) == want_out
+    # The persistent state area ends bit-identical to the oracle's.
+    want_state = b"".join(word.to_bytes(8, "little") for word in state)
+    assert bytes(memory.region("state")) == want_state
+    assert len(want_state) == STATE_SIZE
+
+
+# -- trace generators ---------------------------------------------------
+
+
+def test_kv_trace_is_seed_deterministic():
+    config = KvTraceConfig(packets=500)
+    assert generate_kv_trace(config) == generate_kv_trace(config)
+    other = generate_kv_trace(KvTraceConfig(packets=500, seed=7))
+    assert other != generate_kv_trace(config)
+
+
+def test_kv_trace_is_heavy_tailed():
+    """Zipf popularity: the hottest source appears far more often than
+    the median source."""
+    from collections import Counter
+    frames = generate_kv_trace(KvTraceConfig(packets=4000, hosts=32))
+    counts = Counter(frame[26:30] for frame in frames
+                     if frame[12:14] == b"\x08\x00")
+    ranked = sorted(counts.values(), reverse=True)
+    assert len(ranked) >= 16
+    median = ranked[len(ranked) // 2]
+    assert ranked[0] >= 5 * median
+
+
+def test_adversarial_trace_is_seed_deterministic():
+    assert generate_adversarial_trace(800) == generate_adversarial_trace(800)
+    assert generate_adversarial_trace(800, seed=3) \
+        != generate_adversarial_trace(800)
+
+
+def test_adversarial_trace_is_actually_hostile():
+    frames = generate_adversarial_trace(2000)
+    assert len(frames) == 2000
+    assert any(len(frame) < MIN_FRAME for frame in frames)     # truncated
+    assert any(len(frame) > MAX_FRAME for frame in frames)     # oversize
+    assert any(set(frame) == {0} for frame in frames)          # all zeros
+    assert any(set(frame) == {0xFF} for frame in frames)       # all ones
+    # Frames spoofing the NAT translation address itself.
+    assert any(len(frame) >= 34 and frame[26:30] == bytes([128, 2, 220, 1])
+               for frame in frames)

@@ -69,6 +69,40 @@ def random_filter_source(rng: random.Random, blocks: int) -> str:
     return "\n".join(lines)
 
 
+#: Aligned state-area offsets inside the KV policy's 160-byte window.
+_STATE_OFFSETS = (0, 8, 16, 24, 64, 120, 128, 152)
+
+
+def random_kv_source(rng: random.Random, blocks: int) -> str:
+    """A random well-formed *store-bearing* program under the KV
+    policy: loads and stores at safe constant offsets in the packet
+    (``r1``, below the guaranteed 64-byte minimum) and the state area
+    (``r3``), ALU scrambling, forward branches."""
+    lines = []
+    for index in range(blocks):
+        label = f"kb{index}"
+        choice = rng.randrange(6)
+        reg = rng.randrange(4, 8)
+        if choice == 0:
+            lines.append(f"LDQ r{reg}, {rng.choice(_SAFE_OFFSETS)}(r1)")
+        elif choice == 1:
+            lines.append(f"LDQ r{reg}, {rng.choice(_STATE_OFFSETS)}(r3)")
+        elif choice == 2:
+            lines.append(f"STQ r{reg}, {rng.choice(_STATE_OFFSETS)}(r3)")
+        elif choice == 3:
+            lines.append(f"STQ r{reg}, {rng.choice(_SAFE_OFFSETS)}(r1)")
+        elif choice == 4:
+            lines.append(f"ADDQ r{reg}, {rng.randrange(256)}, r{reg}")
+        else:
+            lines.append(f"BEQ r{reg}, {label}")
+            lines.append(f"STQ r{rng.randrange(4, 8)}, "
+                         f"{rng.choice(_STATE_OFFSETS)}(r3)")
+            lines.append(f"{label}: SUBQ r0, r0, r0")
+    lines.append("CMPEQ r4, r5, r0")
+    lines.append("RET")
+    return "\n".join(lines)
+
+
 def _random_reg(rng: random.Random) -> Reg:
     return Reg(rng.randrange(NUM_REGS))
 

@@ -1,0 +1,190 @@
+"""The write-capable family under the dispatch runtime.
+
+Admission (auto WCET budgets, clean batch-compiler fallback), and the
+acceptance property of the whole PR: a runtime dispatching the
+adversarial trace leaves per-shard persistent state *bit-identical* to
+the pure-Python oracle, alongside every verdict and packet rewrite.
+"""
+
+import pytest
+
+from repro.alpha.batch import FramePlan, batch_capability, compile_batch
+from repro.analysis import context_for_policy, estimate_wcet
+from repro.filters.kv import (
+    KV_INSERT,
+    KV_PROGRAMS,
+    STATE_SIZE,
+    kv_packet_policy,
+    kv_registers,
+    oracle_run,
+    reusable_kv_memory,
+)
+from repro.filters.policy import PACKET_BASE, SCRATCH_BASE, SCRATCH_SIZE
+from repro.filters.trace import KvTraceConfig, generate_adversarial_trace, \
+    generate_kv_trace
+from repro.pcc import certify
+from repro.perf.cost import ALPHA_175
+from repro.runtime import PacketRuntime, RuntimeConfig
+
+PACKETS = 600
+
+
+@pytest.fixture(scope="module")
+def kv_policy():
+    return kv_packet_policy()
+
+
+@pytest.fixture(scope="module")
+def kv_blobs(kv_policy):
+    return {spec.name: certify(spec.source, kv_policy,
+                               invariants=spec.invariants()
+                               ).binary.to_bytes()
+            for spec in KV_PROGRAMS}
+
+
+def _kv_runtime(kv_policy, **overrides):
+    defaults = dict(shards=1, cycle_budget="auto",
+                    memory_factory=reusable_kv_memory,
+                    registers_fn=kv_registers)
+    defaults.update(overrides)
+    return PacketRuntime(kv_policy, RuntimeConfig(**defaults))
+
+
+def _contract_frames(trace, config=None):
+    config = config or RuntimeConfig()
+    return [frame for frame in trace
+            if config.min_frame_bytes <= len(frame)
+            <= config.max_frame_bytes]
+
+
+# -- admission ----------------------------------------------------------
+
+
+def test_admission_with_auto_wcet_budget(kv_policy, kv_blobs):
+    runtime = _kv_runtime(kv_policy)
+    context = context_for_policy(kv_policy)
+    for spec in KV_PROGRAMS:
+        extension = runtime.attach(spec.name, kv_blobs[spec.name])
+        assert not extension.checked          # proof-carrying fast tier
+        report = estimate_wcet(extension.program, context)
+        assert report.bound is not None       # every loop is bounded
+        assert extension.wcet_bound == report.bound
+        assert extension.cycle_budget == report.budget(0.0)
+
+
+def test_store_bearing_admission_never_raises_on_batch_path(kv_policy,
+                                                            kv_blobs):
+    """Satellite: the batch compiler's capability probe routes the
+    store-bearing family to the generic engine — admission completes,
+    no mid-admission surprise."""
+    runtime = _kv_runtime(kv_policy)
+    for name, blob in kv_blobs.items():
+        extension = runtime.attach(name, blob)
+        assert extension.batch_runner is None
+        assert extension.engine is not None
+
+
+def test_batch_capability_names_the_reason():
+    for spec in KV_PROGRAMS:
+        reason = batch_capability(spec.program)
+        assert reason is not None
+        assert "store" in reason or "loop" in reason
+
+    from repro.filters.programs import FILTERS
+    for filter_spec in FILTERS:
+        assert batch_capability(filter_spec.program) is None, \
+            filter_spec.name
+
+
+def test_compile_batch_agrees_with_capability_probe():
+    """compile_batch returns None exactly when the probe gives a
+    reason (checked over both families)."""
+    from repro.filters.programs import FILTERS
+    plan = FramePlan(PACKET_BASE, SCRATCH_BASE, SCRATCH_SIZE)
+    programs = [spec.program for spec in KV_PROGRAMS]
+    programs += [filter_spec.program for filter_spec in FILTERS]
+    for program in programs:
+        runner = compile_batch(program, ALPHA_175, plan)
+        assert (runner is None) == (batch_capability(program) is not None)
+
+
+def test_unproven_store_blob_rejected_without_downgrade(kv_policy,
+                                                        rogue_blob):
+    from repro.errors import ValidationError
+    runtime = _kv_runtime(kv_policy)
+    with pytest.raises(ValidationError):
+        runtime.attach("rogue", rogue_blob)
+
+
+# -- dispatch: verdicts, rewrites, and persistent state -----------------
+
+
+def _dispatch_differential(kv_policy, kv_blobs, name, trace):
+    """One extension, one shard: dispatch must equal the serial oracle
+    in verdict stream, fault count, and final state bytes."""
+    frames = _contract_frames(trace)
+    runtime = _kv_runtime(kv_policy)
+    runtime.attach(name, kv_blobs[name])
+    report = runtime.dispatch(trace, collect=True)
+    assert report.packets == len(frames)
+    assert report.contract_drops == len(trace) - len(frames)
+
+    verdicts, __, state = oracle_run(name, frames)
+    got = [record[name] for record in report.records]
+    assert None not in got                    # zero faults
+    assert got == verdicts
+    want_state = b"".join(word.to_bytes(8, "little") for word in state)
+    shard_state = bytes(runtime.shards[0].memory.region("state"))
+    assert shard_state == want_state
+    assert len(shard_state) == STATE_SIZE
+
+
+@pytest.mark.parametrize("spec", KV_PROGRAMS, ids=lambda s: s.name)
+def test_zipf_trace_state_differential(kv_policy, kv_blobs, spec):
+    trace = generate_kv_trace(KvTraceConfig(packets=PACKETS, hosts=24))
+    _dispatch_differential(kv_policy, kv_blobs, spec.name, trace)
+
+
+@pytest.mark.parametrize("spec", KV_PROGRAMS, ids=lambda s: s.name)
+def test_adversarial_trace_state_differential(kv_policy, kv_blobs, spec):
+    """The acceptance criterion: runtime post-state bit-identical to
+    the oracle across the adversarial trace."""
+    trace = generate_adversarial_trace(PACKETS)
+    _dispatch_differential(kv_policy, kv_blobs, spec.name, trace)
+
+
+def test_state_persists_across_dispatch_calls(kv_policy, kv_blobs):
+    """The table survives between dispatch batches — per-shard state is
+    persistent, unlike the per-invocation BPF scratch."""
+    trace = generate_kv_trace(KvTraceConfig(packets=200, hosts=8))
+    half = len(trace) // 2
+    split_runtime = _kv_runtime(kv_policy)
+    split_runtime.attach(KV_INSERT.name, kv_blobs[KV_INSERT.name])
+    split_runtime.dispatch(trace[:half])
+    split_runtime.dispatch(trace[half:])
+
+    whole_runtime = _kv_runtime(kv_policy)
+    whole_runtime.attach(KV_INSERT.name, kv_blobs[KV_INSERT.name])
+    whole_runtime.dispatch(trace)
+
+    assert bytes(split_runtime.shards[0].memory.region("state")) \
+        == bytes(whole_runtime.shards[0].memory.region("state"))
+    assert any(bytes(whole_runtime.shards[0].memory.region("state")))
+
+
+def test_auto_budget_never_faults_on_kv_workload(kv_policy, kv_blobs):
+    """The WCET budget is a sound bound: budgeted dispatch completes the
+    whole trace with zero faults and the same telemetry as unbudgeted."""
+    trace = _contract_frames(generate_adversarial_trace(300))
+    snapshots = []
+    for budget in ("auto", None):
+        runtime = _kv_runtime(kv_policy, cycle_budget=budget)
+        for name, blob in sorted(kv_blobs.items()):
+            runtime.attach(name, blob)
+        runtime.dispatch(trace)
+        snapshots.append(runtime.snapshot())
+    budgeted, unbudgeted = snapshots
+    assert budgeted.faults == unbudgeted.faults == 0
+    for left, right in zip(budgeted.extensions, unbudgeted.extensions):
+        assert left.name == right.name
+        assert left.accepted == right.accepted

@@ -1,0 +1,201 @@
+"""STQ / ``wr`` obligations end to end, under the write-capable policy.
+
+The read-only filter family never exercised the store half of Figure 4:
+``STQ`` must add a ``wr(address)`` obligation *and* thread the
+``rm := upd(rm, a, v)`` substitution, unaligned or out-of-policy writes
+must be unprovable, backward branches in store-bearing programs must
+demand invariants, and — the Safety Theorem again — every certified
+store-bearing program must run the checked abstract machine without a
+single ``wr`` check firing, with bit-identical post-state.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.alpha.abstract import AbstractMachine
+from repro.alpha.machine import Machine
+from repro.alpha.parser import parse_program
+from repro.errors import CertificationError, VcGenError
+from repro.filters.kv import (
+    kv_invariant,
+    kv_memory,
+    kv_packet_policy,
+    kv_registers,
+)
+from repro.logic.formulas import And, Truth, conjuncts, wr
+from repro.logic.terms import Var, add64, sel, upd
+from repro.pcc import certify, validate
+from repro.vcgen.vcgen import compute_vc, safety_obligations
+from tests.generators import random_kv_source
+
+_POLICY = kv_packet_policy()
+
+
+def _certifies(source: str, invariants=None) -> bool:
+    try:
+        certify(source, _POLICY, invariants=invariants or {})
+        return True
+    except CertificationError:
+        return False
+
+
+class TestStoreVcStructure:
+    def test_stq_obligation_carries_wr_and_upd(self):
+        program = parse_program("STQ r5, 8(r3)\nRET")
+        address = add64(Var("r3"), 8)
+        post = Truth()
+        vc = compute_vc(program, post)
+        assert vc == And(wr(address), post)
+
+    def test_stq_updates_memory_seen_downstream(self):
+        from repro.logic.formulas import eq
+        program = parse_program("STQ r5, 8(r3)\nRET")
+        address = add64(Var("r3"), 8)
+        post = eq(sel(Var("rm"), address), 7)
+        vc = compute_vc(program, post)
+        # The postcondition's rm is rebound to the updated memory.
+        expected = upd(Var("rm"), address, Var("r5"))
+        assert vc == And(wr(address), eq(sel(expected, address), 7))
+
+    def test_safety_obligation_per_cut_point(self):
+        source = """
+        SUBQ   r4, r4, r4
+        BR     check
+loop:   ADDQ   r3, r4, r5
+        STQ    r0, 0(r5)
+        ADDQ   r4, 8, r4
+check:  CMPULT r4, 128, r5
+        BNE    r5, loop
+        RET
+"""
+        program = parse_program(source)
+        obligations = safety_obligations(program, _POLICY.precondition,
+                                         Truth(), {2: kv_invariant()})
+        assert len(obligations) == 2  # entry + one cut point
+
+
+class TestRejectedWrites:
+    def test_aligned_in_policy_stores_certify(self):
+        assert _certifies("STQ r0, 0(r3)\nSTQ r0, 152(r3)\nRET")
+        assert _certifies("STQ r0, 0(r1)\nSTQ r0, 56(r1)\nRET")
+
+    def test_unaligned_store_rejected(self):
+        assert not _certifies("STQ r0, 4(r3)\nRET")
+        assert not _certifies("STQ r0, 12(r1)\nRET")
+
+    def test_store_past_state_area_rejected(self):
+        assert not _certifies("STQ r0, 160(r3)\nRET")
+        assert not _certifies("STQ r0, 1024(r3)\nRET")
+
+    def test_store_past_guaranteed_packet_minimum_rejected(self):
+        # Only r2 >= 64 is guaranteed; offset 64 may be out of frame.
+        assert not _certifies("STQ r0, 64(r1)\nRET")
+
+    def test_store_through_unconstrained_register_rejected(self):
+        assert not _certifies("STQ r0, 0(r5)\nRET")
+
+    def test_negative_offset_store_rejected(self):
+        assert not _certifies("STQ r0, -8(r3)\nRET")
+
+    def test_read_only_filter_policy_refuses_kv_scratch_store(self):
+        """The same store that certifies under the KV policy is
+        unprovable under the read-only checksum policy."""
+        from repro.filters.checksum import checksum_policy
+        source = "STQ r0, 0(r1)\nRET"
+        assert _certifies(source)
+        with pytest.raises(CertificationError):
+            certify(source, checksum_policy())
+
+
+class TestInvariantCoverage:
+    _LOOP = """
+        SUBQ   r4, r4, r4
+        BR     check
+loop:   ADDQ   r3, r4, r5
+        STQ    r0, 0(r5)
+        ADDQ   r4, 8, r4
+check:  CMPULT r4, 128, r5
+        BNE    r5, loop
+        RET
+"""
+
+    def test_store_loop_with_invariant_certifies(self):
+        assert _certifies(self._LOOP, invariants={2: kv_invariant()})
+
+    def test_backward_branch_without_invariant_rejected(self):
+        program = parse_program(self._LOOP)
+        with pytest.raises(VcGenError):
+            safety_obligations(program, _POLICY.precondition, Truth(), {})
+        assert not _certifies(self._LOOP)
+
+    def test_wrong_pc_invariant_rejected(self):
+        assert not _certifies(self._LOOP, invariants={3: kv_invariant()})
+
+    def test_too_weak_invariant_rejected(self):
+        """An invariant missing the bound cannot prove the store."""
+        from repro.logic.formulas import conj, eq
+        from repro.logic.terms import and64
+        from repro.vcgen.policy import word_identity
+        weak = conj([word_identity(Var("r3")), word_identity(Var("r4")),
+                     eq(and64(Var("r4"), 7), 0)])
+        assert not _certifies(self._LOOP, invariants={2: weak})
+
+
+class TestStoreBearingDifferential:
+    """Certified store-bearing programs never trip the checked machine,
+    and checked vs unchecked post-states are bit-identical."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**32 - 1),
+           st.integers(min_value=1, max_value=6))
+    def test_certified_stores_never_block(self, seed, blocks):
+        rng = random.Random(seed)
+        source = random_kv_source(rng, blocks)
+        certified = certify(source, _POLICY)  # offsets are safe by
+        report = validate(certified.binary.to_bytes(), _POLICY)
+
+        frame = bytes(rng.randrange(256) for __ in range(64))
+        registers = kv_registers(len(frame))
+        can_read, can_write = _POLICY.checkers(registers, lambda a: 0)
+        checked_memory = kv_memory(frame)
+        checked = AbstractMachine(report.program, checked_memory,
+                                  can_read, can_write, dict(registers))
+        checked_result = checked.run()   # must not raise SafetyViolation
+
+        plain_memory = kv_memory(frame)
+        plain = Machine(report.program, plain_memory, dict(registers))
+        plain_result = plain.run()
+
+        assert plain_result.value == checked_result.value
+        for region in ("packet", "state"):
+            assert bytes(plain_memory.region(region)) \
+                == bytes(checked_memory.region(region))
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    def test_unsafe_store_injection_rejected(self, seed):
+        rng = random.Random(seed)
+        source = random_kv_source(rng, 2)
+        bad = rng.choice((4, 12, 164, 168, 256, 1024))
+        unsafe = f"STQ r4, {bad}(r3)\n" + source
+        with pytest.raises(CertificationError):
+            certify(unsafe, _POLICY)
+
+
+def test_obligation_conjuncts_name_both_regions():
+    """The KV precondition really contains both wr regions."""
+    parts = conjuncts(_POLICY.precondition)
+    assert len(parts) == 10
+    # quantified conjuncts: rd/wr packet, rd/wr state, no-alias
+    foralls = [p for p in parts if type(p).__name__ == "Forall"]
+    assert len(foralls) == 5
+
+
+def test_upd_sel_roundtrip_terms():
+    """Sanity: the upd/sel term helpers used by the STQ rule exist and
+    build the paper's memory terms."""
+    rm, a, v = Var("rm"), Var("a"), Var("v")
+    term = sel(upd(rm, a, v), a)
+    assert term.op == "sel"
